@@ -1,0 +1,57 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints:
+//   * a CSV block with the series the paper plots (machine-readable),
+//   * a human-readable summary table,
+//   * "CHECK" lines asserting the paper's qualitative shape, so the bench
+//     output doubles as a reproduction report.
+#ifndef SSPLANE_BENCH_BENCH_UTIL_H
+#define SSPLANE_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "demand/demand_model.h"
+#include "demand/population.h"
+
+namespace ssplane::bench {
+
+/// Shared full-resolution population model (built once per process).
+inline const demand::population_model& population()
+{
+    static const demand::population_model model;
+    return model;
+}
+
+/// Shared paper-resolution demand model (0.5 deg x 15 min).
+inline const demand::demand_model& paper_demand()
+{
+    static const demand::demand_model model(population());
+    return model;
+}
+
+/// Print a PASS/FAIL shape-check line; returns `ok` for aggregation.
+inline bool check(const std::string& name, bool ok)
+{
+    std::cout << "CHECK " << (ok ? "PASS" : "FAIL") << ": " << name << "\n";
+    return ok;
+}
+
+/// Wall-clock stopwatch for bench timing lines.
+class stopwatch {
+public:
+    stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    double seconds() const
+    {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace ssplane::bench
+
+#endif // SSPLANE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,95 @@
+// Performance microbenchmarks (google-benchmark) for the library's hot
+// paths: propagation, flux evaluation, plane masks, greedy iterations and
+// routing.
+#include <benchmark/benchmark.h>
+
+#include "astro/propagator.h"
+#include "core/design_problem.h"
+#include "core/greedy_cover.h"
+#include "core/plane_trace.h"
+#include "demand/demand_model.h"
+#include "demand/population.h"
+#include "geo/coverage.h"
+#include "lsn/routing.h"
+#include "radiation/belts.h"
+#include "util/angles.h"
+
+using namespace ssplane;
+
+namespace {
+
+const demand::population_model& bench_population()
+{
+    static const demand::population_model model;
+    return model;
+}
+
+void bm_propagator_state(benchmark::State& state)
+{
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(97.6), 0.3, 0.1), astro::instant::j2000());
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 10.0;
+        benchmark::DoNotOptimize(orbit.state_at(astro::instant::j2000().plus_seconds(t)));
+    }
+}
+BENCHMARK(bm_propagator_state);
+
+void bm_flux_eval(benchmark::State& state)
+{
+    const radiation::radiation_environment env;
+    const vec3 p = astro::geodetic_to_ecef({-25.0, -50.0, 560.0e3});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(env.flux(p, 1.0));
+    }
+}
+BENCHMARK(bm_flux_eval);
+
+void bm_plane_mask(benchmark::State& state)
+{
+    const geo::lat_tod_grid grid(0.5, 0.25);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::plane_coverage_mask(grid, deg2rad(97.6), 13.5, deg2rad(7.25)));
+    }
+}
+BENCHMARK(bm_plane_mask);
+
+void bm_greedy_small(benchmark::State& state)
+{
+    demand::demand_options opts;
+    opts.lat_cell_deg = 2.0;
+    opts.tod_cell_h = 1.0;
+    const demand::demand_model model(bench_population(), opts);
+    const auto problem = core::make_design_problem(model, 5.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::greedy_ss_cover(problem));
+    }
+}
+BENCHMARK(bm_greedy_small)->Unit(benchmark::kMillisecond);
+
+void bm_dijkstra(benchmark::State& state)
+{
+    // Random-ish ring-of-cliques graph of ~1000 nodes.
+    lsn::network_snapshot snap;
+    const int n = 1000;
+    snap.n_satellites = n;
+    snap.positions_ecef_m.resize(static_cast<std::size_t>(n));
+    snap.adjacency.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        for (int k = 1; k <= 4; ++k) {
+            const int j = (i + k) % n;
+            snap.adjacency[static_cast<std::size_t>(i)].push_back({j, 0.001 * k});
+            snap.adjacency[static_cast<std::size_t>(j)].push_back({i, 0.001 * k});
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lsn::shortest_route(snap, 0, n / 2));
+    }
+}
+BENCHMARK(bm_dijkstra)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

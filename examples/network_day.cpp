@@ -1,0 +1,68 @@
+// A day in the life of an SS-plane network: design a constellation, wire
+// its ISLs, and follow routing latency and coverage through 24 hours
+// (paper §5: time-aware topology/routing evaluation).
+//
+// Usage: network_day [--bandwidth=10] [--pairs=4]
+#include <iostream>
+
+#include "core/greedy_cover.h"
+#include "lsn/simulator.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ssplane;
+
+int main(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    const double bandwidth = args.get_double("bandwidth", 10.0);
+
+    std::cout << "=== SS network, 24-hour simulation ===\n";
+
+    // Design the constellation.
+    const demand::population_model population;
+    const demand::demand_model demand(population);
+    const auto problem = core::make_design_problem(demand, bandwidth);
+    const auto design = core::greedy_ss_cover(problem);
+    std::cout << "designed " << design.planes.size() << " SS-planes, "
+              << design.total_satellites << " satellites\n\n";
+
+    std::vector<constellation::ss_plane> planes;
+    planes.reserve(design.planes.size());
+    for (const auto& p : design.planes)
+        planes.push_back({p.altitude_m, p.ltan_h, p.n_sats, 0.0});
+    const auto epoch = astro::instant::from_calendar(2026, 6, 1, 0);
+    const auto topology = lsn::build_ss_topology(planes, epoch);
+    std::cout << "topology: " << topology.satellites.size() << " nodes, "
+              << topology.links.size() << " inter-satellite links\n\n";
+
+    lsn::simulation_options sim;
+    sim.duration_s = 86400.0;
+    sim.step_s = 1800.0;
+
+    const auto stations = lsn::default_ground_stations();
+    const std::pair<int, int> pairs[] = {{0, 3}, {7, 9}, {2, 5}, {0, 10}};
+
+    table_printer table({"pair", "reach_frac", "mean_ms", "p95_ms", "hops"});
+    for (const auto& [a, b] : pairs) {
+        const auto stats =
+            lsn::simulate_pair_latency(topology, stations, a, b, epoch, sim);
+        table.row({stations[static_cast<std::size_t>(a)].name + "-" +
+                       stations[static_cast<std::size_t>(b)].name,
+                   format_number(stats.reachable_fraction, 4),
+                   format_number(stats.mean_latency_ms, 5),
+                   format_number(stats.p95_latency_ms, 5),
+                   format_number(stats.mean_hops, 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nper-station coverage over the day:\n";
+    table_printer cov({"station", "coverage_fraction"});
+    for (const auto& gs : stations) {
+        cov.row({gs.name,
+                 format_number(lsn::coverage_fraction(topology, gs, epoch, sim), 4)});
+    }
+    cov.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Physical and astronomical constants (SI units).
+//
+// Values follow WGS-84 / EGM96 and the Astronomical Almanac. All lengths in
+// the library are meters and all internal angles radians unless a name says
+// otherwise.
+#ifndef SSPLANE_ASTRO_CONSTANTS_H
+#define SSPLANE_ASTRO_CONSTANTS_H
+
+#include "util/angles.h"
+
+namespace ssplane::astro {
+
+/// Earth gravitational parameter GM [m^3/s^2] (EGM96).
+inline constexpr double mu_earth = 3.986004418e14;
+
+/// Earth equatorial radius [m] (WGS-84 semi-major axis).
+inline constexpr double earth_equatorial_radius_m = 6378137.0;
+
+/// WGS-84 flattening.
+inline constexpr double earth_flattening = 1.0 / 298.257223563;
+
+/// Earth polar radius [m], derived from the WGS-84 ellipsoid.
+inline constexpr double earth_polar_radius_m =
+    earth_equatorial_radius_m * (1.0 - earth_flattening);
+
+/// Mean Earth radius [m] (IUGG mean radius R1).
+inline constexpr double earth_mean_radius_m = 6371008.8;
+
+/// Second zonal harmonic J2 of the geopotential (EGM96).
+inline constexpr double j2_earth = 1.08262668e-3;
+
+/// Earth inertial rotation rate [rad/s].
+inline constexpr double earth_rotation_rate_rad_s = 7.2921150e-5;
+
+/// Seconds per (mean solar) day.
+inline constexpr double seconds_per_day = 86400.0;
+
+/// Mean sidereal day [s].
+inline constexpr double sidereal_day_s = 86164.0905;
+
+/// Tropical year [days] — one full cycle of the mean sun.
+inline constexpr double tropical_year_days = 365.2421897;
+
+/// Nodal precession rate of a sun-synchronous orbit [rad/s]:
+/// one full revolution of the ascending node per tropical year.
+inline constexpr double sun_synchronous_node_rate_rad_s =
+    two_pi / (tropical_year_days * seconds_per_day);
+
+/// Astronomical unit [m].
+inline constexpr double astronomical_unit_m = 1.495978707e11;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double speed_of_light_m_s = 299792458.0;
+
+/// Julian date of the J2000.0 epoch (2000-01-01 12:00 TT).
+inline constexpr double jd_j2000 = 2451545.0;
+
+/// Days per Julian century.
+inline constexpr double julian_century_days = 36525.0;
+
+} // namespace ssplane::astro
+
+#endif // SSPLANE_ASTRO_CONSTANTS_H

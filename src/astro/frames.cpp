@@ -1,0 +1,90 @@
+#include "astro/frames.h"
+
+#include <cmath>
+
+#include "astro/constants.h"
+
+namespace ssplane::astro {
+
+namespace {
+constexpr double wgs84_a = earth_equatorial_radius_m;
+constexpr double wgs84_f = earth_flattening;
+constexpr double wgs84_e2 = wgs84_f * (2.0 - wgs84_f); // first eccentricity squared
+} // namespace
+
+vec3 geodetic_to_ecef(const geodetic& g) noexcept
+{
+    const double lat = deg2rad(g.latitude_deg);
+    const double lon = deg2rad(g.longitude_deg);
+    const double sin_lat = std::sin(lat);
+    const double cos_lat = std::cos(lat);
+    // Prime-vertical radius of curvature.
+    const double n = wgs84_a / std::sqrt(1.0 - wgs84_e2 * sin_lat * sin_lat);
+    return {(n + g.altitude_m) * cos_lat * std::cos(lon),
+            (n + g.altitude_m) * cos_lat * std::sin(lon),
+            (n * (1.0 - wgs84_e2) + g.altitude_m) * sin_lat};
+}
+
+geodetic ecef_to_geodetic(const vec3& r) noexcept
+{
+    const double lon = std::atan2(r.y, r.x);
+    const double p = std::hypot(r.x, r.y);
+
+    // Bowring-style fixed-point iteration on geodetic latitude.
+    double lat = std::atan2(r.z, p * (1.0 - wgs84_e2));
+    double alt = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        const double sin_lat = std::sin(lat);
+        const double n = wgs84_a / std::sqrt(1.0 - wgs84_e2 * sin_lat * sin_lat);
+        alt = (std::abs(std::cos(lat)) > 1e-9)
+                  ? p / std::cos(lat) - n
+                  : std::abs(r.z) / std::abs(sin_lat) - n * (1.0 - wgs84_e2);
+        lat = std::atan2(r.z, p * (1.0 - wgs84_e2 * n / (n + alt)));
+    }
+    return {rad2deg(lat), rad2deg(lon), alt};
+}
+
+vec3 eci_to_ecef(const vec3& r_eci, const instant& t) noexcept
+{
+    return rotate_z(r_eci, -gmst_rad(t));
+}
+
+vec3 ecef_to_eci(const vec3& r_ecef, const instant& t) noexcept
+{
+    return rotate_z(r_ecef, gmst_rad(t));
+}
+
+double geocentric_latitude_rad(const vec3& r) noexcept
+{
+    const double p = std::hypot(r.x, r.y);
+    return std::atan2(r.z, p);
+}
+
+sun_relative eci_to_sun_relative(const vec3& r_eci, const instant& t) noexcept
+{
+    const double ra = std::atan2(r_eci.y, r_eci.x);
+    sun_relative s;
+    s.latitude_deg = rad2deg(geocentric_latitude_rad(r_eci));
+    s.local_solar_time_h = solar_time_of_right_ascension_hours(t, ra);
+    return s;
+}
+
+sun_relative geodetic_to_sun_relative(const geodetic& g, const instant& t) noexcept
+{
+    sun_relative s;
+    s.latitude_deg = g.latitude_deg;
+    s.local_solar_time_h = mean_solar_time_hours(t, g.longitude_deg);
+    return s;
+}
+
+double elevation_angle_rad(const geodetic& ground, const vec3& sat_ecef) noexcept
+{
+    const vec3 site = geodetic_to_ecef(ground);
+    const vec3 to_sat = sat_ecef - site;
+    const vec3 up = site.normalized(); // geocentric up; adequate for coverage tests
+    const double range = to_sat.norm();
+    if (range == 0.0) return pi / 2.0;
+    return safe_asin(up.dot(to_sat) / range);
+}
+
+} // namespace ssplane::astro

@@ -1,0 +1,42 @@
+#include "astro/ground_track.h"
+
+#include <cmath>
+
+#include "util/expects.h"
+
+namespace ssplane::astro {
+
+geodetic subsatellite_point(const vec3& r_eci, const instant& t)
+{
+    return ecef_to_geodetic(eci_to_ecef(r_eci, t));
+}
+
+std::vector<track_point> sample_ground_track(const j2_propagator& orbit,
+                                             const instant& start,
+                                             double duration_s,
+                                             double step_s)
+{
+    expects(duration_s >= 0.0, "duration must be non-negative");
+    expects(step_s > 0.0, "step must be positive");
+
+    const auto n_steps = static_cast<std::size_t>(std::floor(duration_s / step_s)) + 1;
+    std::vector<track_point> points;
+    points.reserve(n_steps + 1);
+    for (std::size_t i = 0; i < n_steps; ++i) {
+        const instant t = start.plus_seconds(static_cast<double>(i) * step_s);
+        const state_vector sv = orbit.state_at(t);
+        points.push_back({t, subsatellite_point(sv.position_m, t),
+                          eci_to_sun_relative(sv.position_m, t)});
+    }
+    // Include the exact endpoint when the step does not land on it.
+    const double covered = static_cast<double>(n_steps - 1) * step_s;
+    if (covered < duration_s) {
+        const instant t = start.plus_seconds(duration_s);
+        const state_vector sv = orbit.state_at(t);
+        points.push_back({t, subsatellite_point(sv.position_m, t),
+                          eci_to_sun_relative(sv.position_m, t)});
+    }
+    return points;
+}
+
+} // namespace ssplane::astro

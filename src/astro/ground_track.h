@@ -1,0 +1,33 @@
+// Ground tracks: the path a satellite's subsatellite point traces over the
+// rotating Earth, with the matching sun-relative coordinates.
+#ifndef SSPLANE_ASTRO_GROUND_TRACK_H
+#define SSPLANE_ASTRO_GROUND_TRACK_H
+
+#include <vector>
+
+#include "astro/frames.h"
+#include "astro/propagator.h"
+
+namespace ssplane::astro {
+
+/// One sample of a ground track.
+struct track_point {
+    instant time;
+    geodetic ground;       ///< Subsatellite point (altitude = satellite altitude).
+    sun_relative sun_rel;  ///< Same instant in (latitude, local solar time).
+};
+
+/// Subsatellite geodetic point of an ECI position at time `t`.
+/// The returned altitude is the satellite's height above the ellipsoid.
+geodetic subsatellite_point(const vec3& r_eci, const instant& t);
+
+/// Sample the ground track of `orbit` every `step_s` seconds over
+/// [start, start + duration_s]. Both endpoints are included.
+std::vector<track_point> sample_ground_track(const j2_propagator& orbit,
+                                             const instant& start,
+                                             double duration_s,
+                                             double step_s);
+
+} // namespace ssplane::astro
+
+#endif // SSPLANE_ASTRO_GROUND_TRACK_H

@@ -1,0 +1,43 @@
+#include "astro/sun.h"
+
+#include <cmath>
+
+namespace ssplane::astro {
+
+sun_state sun_position(const instant& t) noexcept
+{
+    // Low-precision solar coordinates, Astronomical Almanac (page C24 form).
+    const double n = t.days_since_j2000();
+    const double mean_longitude_rad = wrap_two_pi(deg2rad(280.460 + 0.9856474 * n));
+    const double mean_anomaly_rad = wrap_two_pi(deg2rad(357.528 + 0.9856003 * n));
+
+    const double ecliptic_longitude_rad =
+        mean_longitude_rad +
+        deg2rad(1.915) * std::sin(mean_anomaly_rad) +
+        deg2rad(0.020) * std::sin(2.0 * mean_anomaly_rad);
+
+    const double obliquity_rad = deg2rad(23.439 - 0.0000004 * n);
+
+    const double sl = std::sin(ecliptic_longitude_rad);
+    const double cl = std::cos(ecliptic_longitude_rad);
+    const double se = std::sin(obliquity_rad);
+    const double ce = std::cos(obliquity_rad);
+
+    sun_state s;
+    s.direction_eci = vec3{cl, ce * sl, se * sl}.normalized();
+    s.distance_m = (1.00014 - 0.01671 * std::cos(mean_anomaly_rad) -
+                    0.00014 * std::cos(2.0 * mean_anomaly_rad)) *
+                   astronomical_unit_m;
+    s.right_ascension_rad = wrap_two_pi(std::atan2(ce * sl, cl));
+    s.declination_rad = safe_asin(se * sl);
+    return s;
+}
+
+subsolar_point subsolar(const instant& t) noexcept
+{
+    const sun_state s = sun_position(t);
+    const double lon_rad = wrap_pi(s.right_ascension_rad - gmst_rad(t));
+    return {rad2deg(s.declination_rad), rad2deg(lon_rad)};
+}
+
+} // namespace ssplane::astro

@@ -1,0 +1,31 @@
+// Low-precision solar ephemeris (Astronomical Almanac expressions),
+// adequate to a small fraction of a degree over decades around J2000.
+#ifndef SSPLANE_ASTRO_SUN_H
+#define SSPLANE_ASTRO_SUN_H
+
+#include "astro/time.h"
+#include "util/vec3.h"
+
+namespace ssplane::astro {
+
+/// Apparent solar position summary at one instant.
+struct sun_state {
+    vec3 direction_eci;       ///< Unit vector from Earth's center to the sun (ECI).
+    double distance_m;        ///< Earth-sun distance [m].
+    double right_ascension_rad; ///< Apparent right ascension [rad, 0..2*pi).
+    double declination_rad;   ///< Apparent declination [rad].
+};
+
+/// Compute the apparent solar position at `t`.
+sun_state sun_position(const instant& t) noexcept;
+
+/// Subsolar geographic point at `t` (geocentric latitude).
+struct subsolar_point {
+    double latitude_deg;
+    double longitude_deg;
+};
+subsolar_point subsolar(const instant& t) noexcept;
+
+} // namespace ssplane::astro
+
+#endif // SSPLANE_ASTRO_SUN_H

@@ -1,0 +1,59 @@
+#include "astro/time.h"
+
+#include <cmath>
+
+#include "util/expects.h"
+
+namespace ssplane::astro {
+
+instant instant::from_calendar(int year, int month, int day,
+                               int hour, int minute, double second)
+{
+    expects(month >= 1 && month <= 12, "month must be 1..12");
+    expects(day >= 1 && day <= 31, "day must be 1..31");
+    // Fliegel & Van Flandern day-number algorithm (valid for Gregorian dates).
+    const long a = (14 - month) / 12;
+    const long y = year + 4800 - a;
+    const long m = month + 12 * a - 3;
+    const long jdn = day + (153 * m + 2) / 5 + 365 * y + y / 4 - y / 100 + y / 400 - 32045;
+    const double day_fraction =
+        (static_cast<double>(hour) - 12.0) / 24.0 +
+        static_cast<double>(minute) / 1440.0 + second / 86400.0;
+    return instant::from_julian_date(static_cast<double>(jdn) + day_fraction);
+}
+
+double gmst_rad(const instant& t) noexcept
+{
+    // IAU 1982 GMST series expressed in degrees (Vallado eq. 3-45 form).
+    const double d = t.days_since_j2000();
+    const double century = d / julian_century_days;
+    double gmst_deg = 280.46061837 + 360.98564736629 * d +
+                      0.000387933 * century * century -
+                      century * century * century / 38710000.0;
+    return wrap_two_pi(deg2rad(gmst_deg));
+}
+
+double mean_sun_right_ascension_rad(const instant& t) noexcept
+{
+    // Mean longitude of the sun (low-precision solar theory); the mean
+    // equatorial sun has right ascension equal to this mean longitude.
+    const double d = t.days_since_j2000();
+    const double mean_longitude_deg = 280.460 + 0.9856474 * d;
+    return wrap_two_pi(deg2rad(mean_longitude_deg));
+}
+
+double mean_solar_time_hours(const instant& t, double longitude_deg) noexcept
+{
+    const double local_sidereal_rad = gmst_rad(t) + deg2rad(longitude_deg);
+    return solar_time_of_right_ascension_hours(t, local_sidereal_rad);
+}
+
+double solar_time_of_right_ascension_hours(const instant& t,
+                                           double right_ascension_rad) noexcept
+{
+    const double hour_angle_rad =
+        wrap_pi(right_ascension_rad - mean_sun_right_ascension_rad(t));
+    return wrap_hours_24(rad2hours(hour_angle_rad) + 12.0);
+}
+
+} // namespace ssplane::astro

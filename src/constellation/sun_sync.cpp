@@ -1,0 +1,66 @@
+#include "constellation/sun_sync.h"
+
+#include <cmath>
+
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::constellation {
+
+std::optional<double> sun_synchronous_inclination_rad(double altitude_m)
+{
+    expects(altitude_m > 0.0, "altitude must be positive");
+    const double a = astro::semi_major_axis_for_altitude_m(altitude_m);
+    const double n = astro::mean_motion_rad_s(a);
+    const double re_over_p = astro::earth_equatorial_radius_m / a; // e = 0
+    const double factor = 1.5 * astro::j2_earth * re_over_p * re_over_p * n;
+    // raan_rate = -factor cos(i) == +sun rate  =>  cos(i) = -sun_rate/factor.
+    const double cos_i = -astro::sun_synchronous_node_rate_rad_s / factor;
+    if (cos_i < -1.0 || cos_i > 1.0) return std::nullopt;
+    return std::acos(cos_i);
+}
+
+double raan_for_ltan_rad(double ltan_h, const astro::instant& t)
+{
+    // The ascending node's right ascension sits (ltan - 12h) east of the
+    // mean sun's right ascension.
+    return wrap_two_pi(astro::mean_sun_right_ascension_rad(t) +
+                       hours2rad(ltan_h - 12.0));
+}
+
+double ltan_of_raan_h(double raan_rad, const astro::instant& t)
+{
+    return astro::solar_time_of_right_ascension_hours(t, raan_rad);
+}
+
+std::vector<satellite> make_ss_plane(const ss_plane& plane, const astro::instant& epoch)
+{
+    expects(plane.n_sats >= 1, "SS-plane needs at least one satellite");
+    const auto inclination = sun_synchronous_inclination_rad(plane.altitude_m);
+    expects(inclination.has_value(), "no sun-synchronous inclination at this altitude");
+
+    const double raan = raan_for_ltan_rad(plane.ltan_h, epoch);
+    std::vector<satellite> sats;
+    sats.reserve(static_cast<std::size_t>(plane.n_sats));
+    for (int s = 0; s < plane.n_sats; ++s) {
+        const double u =
+            plane.phase_rad + two_pi * static_cast<double>(s) / plane.n_sats;
+        sats.push_back(
+            {0, s, astro::circular_orbit(plane.altitude_m, *inclination, raan, u)});
+    }
+    return sats;
+}
+
+std::vector<satellite> make_ss_constellation(const std::vector<ss_plane>& planes,
+                                             const astro::instant& epoch)
+{
+    std::vector<satellite> all;
+    for (std::size_t p = 0; p < planes.size(); ++p) {
+        auto sats = make_ss_plane(planes[p], epoch);
+        for (auto& s : sats) s.plane = static_cast<int>(p);
+        all.insert(all.end(), sats.begin(), sats.end());
+    }
+    return all;
+}
+
+} // namespace ssplane::constellation

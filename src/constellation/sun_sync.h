@@ -1,0 +1,51 @@
+// Sun-synchronous (SS) orbit design and the SS-plane primitive (paper §4).
+//
+// An SS orbit's plane precesses exactly once per tropical year, so the plane
+// keeps a fixed orientation relative to the mean sun: it crosses every
+// latitude at a fixed local solar time. The SS-plane primitive is therefore
+// *a fixed closed curve on the (latitude × time-of-day) grid* — the object
+// the paper's greedy cover algorithm selects.
+#ifndef SSPLANE_CONSTELLATION_SUN_SYNC_H
+#define SSPLANE_CONSTELLATION_SUN_SYNC_H
+
+#include <optional>
+#include <vector>
+
+#include "astro/propagator.h"
+#include "constellation/walker.h"
+
+namespace ssplane::constellation {
+
+/// Inclination of a circular sun-synchronous orbit at `altitude_m`, or
+/// nullopt above ~6000 km where no SS inclination exists.
+std::optional<double> sun_synchronous_inclination_rad(double altitude_m);
+
+/// RAAN of an orbit whose ascending node sits at local solar time `ltan_h`
+/// (local time of ascending node) at absolute time `t`.
+double raan_for_ltan_rad(double ltan_h, const astro::instant& t);
+
+/// Local solar time of the ascending node for a given RAAN at time `t`.
+double ltan_of_raan_h(double raan_rad, const astro::instant& t);
+
+/// One SS-plane: a sun-synchronous orbital plane carrying `n_sats` equally
+/// spaced satellites.
+struct ss_plane {
+    double altitude_m = 560.0e3;
+    double ltan_h = 12.0; ///< Local time of ascending node [hours].
+    int n_sats = 1;
+    double phase_rad = 0.0; ///< Argument-of-latitude offset of slot 0.
+};
+
+/// Generate the satellites of one SS-plane at `epoch`.
+/// Throws std::invalid_argument-like contract violation if no SS
+/// inclination exists at the requested altitude.
+std::vector<satellite> make_ss_plane(const ss_plane& plane, const astro::instant& epoch);
+
+/// Generate a full SS constellation (concatenation of planes; `plane` index
+/// in the result numbers the planes in input order).
+std::vector<satellite> make_ss_constellation(const std::vector<ss_plane>& planes,
+                                             const astro::instant& epoch);
+
+} // namespace ssplane::constellation
+
+#endif // SSPLANE_CONSTELLATION_SUN_SYNC_H

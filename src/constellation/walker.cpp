@@ -1,0 +1,38 @@
+#include "constellation/walker.h"
+
+#include "astro/propagator.h"
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::constellation {
+
+std::vector<satellite> make_walker_delta(const walker_parameters& params)
+{
+    expects(params.n_planes >= 1, "need at least one plane");
+    expects(params.sats_per_plane >= 1, "need at least one satellite per plane");
+    expects(params.phasing_f >= 0 && params.phasing_f < params.n_planes,
+            "phasing factor must be in [0, n_planes)");
+
+    const int total = params.total();
+    std::vector<satellite> sats;
+    sats.reserve(static_cast<std::size_t>(total));
+
+    const double raan_step = two_pi / static_cast<double>(params.n_planes);
+    const double slot_step = two_pi / static_cast<double>(params.sats_per_plane);
+    const double phase_step =
+        two_pi * static_cast<double>(params.phasing_f) / static_cast<double>(total);
+
+    for (int p = 0; p < params.n_planes; ++p) {
+        const double raan = params.raan0_rad + raan_step * static_cast<double>(p);
+        const double plane_phase = params.anomaly0_rad + phase_step * static_cast<double>(p);
+        for (int s = 0; s < params.sats_per_plane; ++s) {
+            const double u = plane_phase + slot_step * static_cast<double>(s);
+            sats.push_back(
+                {p, s,
+                 astro::circular_orbit(params.altitude_m, params.inclination_rad, raan, u)});
+        }
+    }
+    return sats;
+}
+
+} // namespace ssplane::constellation

@@ -1,0 +1,36 @@
+#include "core/design_problem.h"
+
+#include <algorithm>
+
+#include "util/expects.h"
+
+namespace ssplane::core {
+
+design_problem make_design_problem(const demand::demand_model& model,
+                                   double bandwidth_multiplier,
+                                   double altitude_m,
+                                   double min_elevation_rad)
+{
+    expects(bandwidth_multiplier > 0.0, "bandwidth multiplier must be positive");
+    design_problem p{model.sun_relative_grid(), bandwidth_multiplier, altitude_m,
+                     min_elevation_rad};
+    for (double& v : p.demand.field().values()) v *= bandwidth_multiplier;
+    return p;
+}
+
+double total_demand(const geo::lat_tod_grid& grid) noexcept
+{
+    return grid.field().total();
+}
+
+std::vector<double> peak_demand_by_latitude(const geo::lat_tod_grid& grid)
+{
+    std::vector<double> peaks(grid.n_lat(), 0.0);
+    for (std::size_t r = 0; r < grid.n_lat(); ++r) {
+        const auto row = grid.field().row_span(r);
+        peaks[r] = row.empty() ? 0.0 : *std::max_element(row.begin(), row.end());
+    }
+    return peaks;
+}
+
+} // namespace ssplane::core

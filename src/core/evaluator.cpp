@@ -1,0 +1,121 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "constellation/sun_sync.h"
+#include "util/expects.h"
+
+namespace ssplane::core {
+
+namespace {
+
+struct weighted_sample {
+    double value = 0.0;
+    double weight = 0.0;
+};
+
+double weighted_median(std::vector<weighted_sample> samples)
+{
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end(),
+              [](const weighted_sample& a, const weighted_sample& b) {
+                  return a.value < b.value;
+              });
+    double total = 0.0;
+    for (const auto& s : samples) total += s.weight;
+    double acc = 0.0;
+    for (const auto& s : samples) {
+        acc += s.weight;
+        if (acc >= total / 2.0) return s.value;
+    }
+    return samples.back().value;
+}
+
+} // namespace
+
+constellation_radiation_summary ss_constellation_radiation(
+    const ss_design_result& design,
+    const radiation::radiation_environment& env,
+    const astro::instant& day,
+    const radiation_eval_options& options)
+{
+    constellation_radiation_summary out;
+    if (design.planes.empty()) return out;
+
+    // Sample up to max_sampled_planes planes evenly across the design.
+    const std::size_t n = design.planes.size();
+    const std::size_t stride =
+        std::max<std::size_t>(1, n / static_cast<std::size_t>(options.max_sampled_planes));
+
+    std::vector<weighted_sample> electrons;
+    std::vector<weighted_sample> protons;
+    for (std::size_t i = 0; i < n; i += stride) {
+        const designed_plane& plane = design.planes[i];
+        const double raan = constellation::raan_for_ltan_rad(plane.ltan_h, day);
+        const auto fl = radiation::daily_fluence(env, plane.altitude_m,
+                                                 plane.inclination_rad, day, raan,
+                                                 options.step_s);
+        const double weight =
+            static_cast<double>(plane.n_sats) * static_cast<double>(stride);
+        electrons.push_back({fl.electrons_cm2_mev, weight});
+        protons.push_back({fl.protons_cm2_mev, weight});
+        ++out.sampled_orbits;
+    }
+    out.median_electron_fluence = weighted_median(std::move(electrons));
+    out.median_proton_fluence = weighted_median(std::move(protons));
+    return out;
+}
+
+constellation_radiation_summary wd_constellation_radiation(
+    const wd_baseline_result& design,
+    const radiation::radiation_environment& env,
+    const astro::instant& day,
+    const radiation_eval_options& options)
+{
+    constellation_radiation_summary out;
+    std::vector<weighted_sample> electrons;
+    std::vector<weighted_sample> protons;
+
+    for (const auto& shell : design.shells) {
+        const int p = shell.parameters.n_planes;
+        const int sampled = std::min(p, options.max_sampled_planes);
+        for (int k = 0; k < sampled; ++k) {
+            // Evenly spaced plane indices within the shell.
+            const int plane_index = static_cast<int>(
+                static_cast<double>(k) * static_cast<double>(p) / sampled);
+            const double raan =
+                shell.parameters.raan0_rad +
+                two_pi * static_cast<double>(plane_index) / static_cast<double>(p);
+            const auto fl = radiation::daily_fluence(
+                env, shell.altitude_m, shell.parameters.inclination_rad, day, raan,
+                options.step_s);
+            const double weight = static_cast<double>(shell.parameters.sats_per_plane) *
+                                  static_cast<double>(p) / sampled;
+            electrons.push_back({fl.electrons_cm2_mev, weight});
+            protons.push_back({fl.protons_cm2_mev, weight});
+            ++out.sampled_orbits;
+        }
+    }
+    out.median_electron_fluence = weighted_median(std::move(electrons));
+    out.median_proton_fluence = weighted_median(std::move(protons));
+    return out;
+}
+
+design_comparison compare_designs(const demand::demand_model& model,
+                                  double bandwidth_multiplier,
+                                  walker_baseline_designer& wd_designer,
+                                  const ss_design_options& ss_options,
+                                  double altitude_m,
+                                  double min_elevation_rad)
+{
+    design_comparison out;
+    out.bandwidth_multiplier = bandwidth_multiplier;
+    const design_problem problem = make_design_problem(
+        model, bandwidth_multiplier, altitude_m, min_elevation_rad);
+    out.ss = greedy_ss_cover(problem, ss_options);
+    out.wd = wd_designer.design(problem);
+    return out;
+}
+
+} // namespace ssplane::core

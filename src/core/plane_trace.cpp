@@ -1,0 +1,86 @@
+#include "core/plane_trace.h"
+
+#include <cmath>
+
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::core {
+
+vec3 sun_frame_unit(double latitude_deg, double tod_h) noexcept
+{
+    const double lat = deg2rad(latitude_deg);
+    const double theta = hours2rad(tod_h - 12.0);
+    const double cl = std::cos(lat);
+    return {cl * std::cos(theta), cl * std::sin(theta), std::sin(lat)};
+}
+
+vec3 plane_normal(double inclination_rad, double ltan_h) noexcept
+{
+    const double theta0 = hours2rad(ltan_h - 12.0);
+    const double si = std::sin(inclination_rad);
+    return {si * std::sin(theta0), -si * std::cos(theta0), std::cos(inclination_rad)};
+}
+
+std::vector<trace_point> ss_plane_trace(double inclination_rad, double ltan_h,
+                                        int n_samples)
+{
+    expects(n_samples >= 4, "need at least 4 trace samples");
+    std::vector<trace_point> trace;
+    trace.reserve(static_cast<std::size_t>(n_samples));
+    const double si = std::sin(inclination_rad);
+    const double ci = std::cos(inclination_rad);
+    for (int k = 0; k < n_samples; ++k) {
+        const double u = two_pi * static_cast<double>(k) / n_samples;
+        const double lat = safe_asin(si * std::sin(u));
+        // Longitude offset from the node along the equator.
+        const double dtheta = std::atan2(ci * std::sin(u), std::cos(u));
+        trace.push_back({rad2deg(lat), wrap_hours_24(ltan_h + rad2hours(dtheta))});
+    }
+    return trace;
+}
+
+std::vector<std::uint8_t> plane_coverage_mask(const geo::lat_tod_grid& grid,
+                                              double inclination_rad,
+                                              double ltan_h,
+                                              double street_half_width_rad)
+{
+    const vec3 n = plane_normal(inclination_rad, ltan_h);
+    const double sin_c = std::sin(street_half_width_rad);
+
+    std::vector<std::uint8_t> mask(grid.n_lat() * grid.n_tod(), 0);
+    for (std::size_t r = 0; r < grid.n_lat(); ++r) {
+        const double lat = grid.latitude_center_deg(r);
+        // Cheap row rejection: distance from the plane is at least
+        // |lat| - max reachable latitude.
+        for (std::size_t c = 0; c < grid.n_tod(); ++c) {
+            const vec3 p = sun_frame_unit(lat, grid.tod_center_h(c));
+            if (std::abs(n.dot(p)) <= sin_c) mask[r * grid.n_tod() + c] = 1;
+        }
+    }
+    return mask;
+}
+
+ltan_solutions ltan_through(double inclination_rad, double latitude_deg, double tod_h)
+{
+    ltan_solutions out;
+    const double si = std::sin(inclination_rad);
+    const double ci = std::cos(inclination_rad);
+    const double sin_lat = std::sin(deg2rad(latitude_deg));
+    if (std::abs(si) < 1e-12) return out;
+    const double sin_u = sin_lat / si;
+    if (sin_u < -1.0 || sin_u > 1.0) return out; // latitude unreachable
+
+    const double u_asc = std::asin(sin_u); // ascending branch, u in [-pi/2, pi/2]
+    const double u_desc = pi - u_asc;      // descending branch
+
+    const auto ltan_for = [&](double u) {
+        const double dtheta = std::atan2(ci * std::sin(u), std::cos(u));
+        return wrap_hours_24(tod_h - rad2hours(dtheta));
+    };
+    out.ascending = ltan_for(u_asc);
+    out.descending = ltan_for(u_desc);
+    return out;
+}
+
+} // namespace ssplane::core

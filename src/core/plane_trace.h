@@ -1,0 +1,58 @@
+// Geometry of an SS-plane on the sun-relative (latitude × time-of-day) grid.
+//
+// In the sun-fixed rotating frame, a sun-synchronous orbit is a *fixed*
+// great circle (its node precesses exactly with the mean sun). We map
+// (latitude φ, time-of-day τ) to a unit sphere with the noon meridian at
+// sun-frame longitude 0 (θ = (τ − 12h)·15°/h). A plane with local time of
+// ascending node `ltan` and inclination i then has orbit normal
+//     n̂ = (sin i · sin θ0, −sin i · cos θ0, cos i),  θ0 = (ltan − 12)·15°,
+// and a grid point P is within the plane's street of half-width c iff
+// |n̂ · P̂| ≤ sin c.
+#ifndef SSPLANE_CORE_PLANE_TRACE_H
+#define SSPLANE_CORE_PLANE_TRACE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/grid.h"
+#include "util/vec3.h"
+
+namespace ssplane::core {
+
+/// Unit vector of a (latitude, time-of-day) point on the sun-relative sphere.
+vec3 sun_frame_unit(double latitude_deg, double tod_h) noexcept;
+
+/// Orbit normal of an SS-plane in the sun-relative frame.
+vec3 plane_normal(double inclination_rad, double ltan_h) noexcept;
+
+/// One sampled point of the plane's trace on the (lat, tod) cylinder.
+struct trace_point {
+    double latitude_deg = 0.0;
+    double tod_h = 0.0;
+};
+
+/// Sample the closed trace of an SS-plane (n_samples points over one
+/// revolution, ascending branch first).
+std::vector<trace_point> ss_plane_trace(double inclination_rad, double ltan_h,
+                                        int n_samples);
+
+/// Boolean mask (1 = covered) over `grid` cells within street half-width
+/// `street_half_width_rad` of the plane's great circle.
+std::vector<std::uint8_t> plane_coverage_mask(const geo::lat_tod_grid& grid,
+                                              double inclination_rad,
+                                              double ltan_h,
+                                              double street_half_width_rad);
+
+/// LTANs of the planes whose ascending (resp. descending) branch passes
+/// through the point (latitude, tod). Empty when |latitude| exceeds the
+/// plane's maximum reachable latitude.
+struct ltan_solutions {
+    std::optional<double> ascending;
+    std::optional<double> descending;
+};
+ltan_solutions ltan_through(double inclination_rad, double latitude_deg, double tod_h);
+
+} // namespace ssplane::core
+
+#endif // SSPLANE_CORE_PLANE_TRACE_H

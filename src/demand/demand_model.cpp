@@ -1,0 +1,61 @@
+#include "demand/demand_model.h"
+
+#include <algorithm>
+
+#include "demand/diurnal.h"
+
+namespace ssplane::demand {
+
+demand_model::demand_model(const population_model& population,
+                           const demand_options& options)
+    : population_(population), options_(options)
+{
+}
+
+double demand_model::demand_at(double latitude_deg, double longitude_deg,
+                               const astro::instant& t) const
+{
+    const double lst = astro::mean_solar_time_hours(t, longitude_deg);
+    return population_.density_at(latitude_deg, longitude_deg) *
+           canonical_diurnal_shape(lst);
+}
+
+geo::lat_tod_grid demand_model::sun_relative_grid() const
+{
+    geo::lat_tod_grid grid(options_.lat_cell_deg, options_.tod_cell_h);
+
+    // Resample the population max-by-latitude profile onto the grid rows.
+    const auto& pop_grid = population_.density();
+    double max_value = 0.0;
+    for (std::size_t r = 0; r < grid.n_lat(); ++r) {
+        const double lat = grid.latitude_center_deg(r);
+        const std::size_t pop_row = pop_grid.row_of_latitude(lat);
+        const double max_pop = population_.max_density_by_latitude()[pop_row];
+        for (std::size_t c = 0; c < grid.n_tod(); ++c) {
+            const double v = max_pop * canonical_diurnal_shape(grid.tod_center_h(c));
+            grid.field()(r, c) = v;
+            max_value = std::max(max_value, v);
+        }
+    }
+    if (max_value > 0.0) {
+        for (double& v : grid.field().values()) v /= max_value;
+    }
+    return grid;
+}
+
+geo::lat_lon_grid demand_model::snapshot(const astro::instant& t) const
+{
+    const auto& pop_grid = population_.density();
+    geo::lat_lon_grid out(pop_grid.cell_deg());
+    for (std::size_t c = 0; c < out.n_lon(); ++c) {
+        const double lon = out.longitude_center_deg(c);
+        const double shape =
+            canonical_diurnal_shape(astro::mean_solar_time_hours(t, lon));
+        for (std::size_t r = 0; r < out.n_lat(); ++r) {
+            out.field()(r, c) = pop_grid.field()(r, c) * shape;
+        }
+    }
+    return out;
+}
+
+} // namespace ssplane::demand

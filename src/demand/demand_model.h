@@ -1,0 +1,54 @@
+// Spatiotemporal bandwidth demand model (paper §3.1 and §4.1).
+//
+// Demand at a surface point is population density scaled by the diurnal
+// shape evaluated at the point's *local solar time*. Because the diurnal
+// cycle is synchronized with Earth rotation, the worst case a sun-relative
+// (latitude × time-of-day) cell must provision for is
+//     D(φ, τ) = max-population-density(φ) × diurnal(τ)
+// — every longitude rotates through the cell once per day (paper §4.1).
+#ifndef SSPLANE_DEMAND_DEMAND_MODEL_H
+#define SSPLANE_DEMAND_DEMAND_MODEL_H
+
+#include "astro/time.h"
+#include "demand/population.h"
+#include "geo/grid.h"
+
+namespace ssplane::demand {
+
+/// Options for demand-field construction.
+struct demand_options {
+    double lat_cell_deg = 0.5; ///< Latitude resolution of the sun-relative grid.
+    double tod_cell_h = 0.25;  ///< Time-of-day resolution [hours].
+};
+
+/// Spatiotemporal demand built from a population model and the canonical
+/// diurnal shape. Values are relative (normalized by callers as needed).
+class demand_model {
+public:
+    explicit demand_model(const population_model& population,
+                          const demand_options& options = {});
+
+    /// Instantaneous relative demand at a geographic point and absolute time:
+    /// population density × diurnal(local solar time). [people/km^2 units]
+    double demand_at(double latitude_deg, double longitude_deg,
+                     const astro::instant& t) const;
+
+    /// Sun-relative demand grid D(φ, τ), normalized to max = 1
+    /// (the paper's Fig. 8, expressed there in percent).
+    geo::lat_tod_grid sun_relative_grid() const;
+
+    /// Snapshot of the relative demand field at absolute time `t`
+    /// (the paper's Fig. 5 panels). [people/km^2 × diurnal multiplier]
+    geo::lat_lon_grid snapshot(const astro::instant& t) const;
+
+    const population_model& population() const noexcept { return population_; }
+    const demand_options& options() const noexcept { return options_; }
+
+private:
+    const population_model& population_;
+    demand_options options_;
+};
+
+} // namespace ssplane::demand
+
+#endif // SSPLANE_DEMAND_DEMAND_MODEL_H

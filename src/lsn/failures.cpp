@@ -1,0 +1,100 @@
+#include "lsn/failures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expects.h"
+#include "util/rng.h"
+
+namespace ssplane::lsn {
+
+double annual_failure_rate(double daily_electron_fluence,
+                           const failure_model_options& options) noexcept
+{
+    if (daily_electron_fluence <= 0.0) return 0.0;
+    return options.base_annual_failure_rate *
+           std::pow(daily_electron_fluence / options.reference_electron_fluence,
+                    options.fluence_exponent);
+}
+
+sparing_result simulate_plane_availability(int sats_per_plane, int spares,
+                                           double annual_rate,
+                                           const failure_model_options& options,
+                                           std::uint64_t seed,
+                                           int n_trials)
+{
+    expects(sats_per_plane > 0, "need at least one active slot");
+    expects(spares >= 0, "spares must be non-negative");
+    expects(annual_rate >= 0.0, "failure rate must be non-negative");
+
+    const double mission_days = options.mission_years * 365.25;
+    const double daily_rate = annual_rate / 365.25;
+
+    rng root(seed);
+    double downtime_sum = 0.0;   // slot-days of outage across trials
+    double failures_sum = 0.0;
+
+    for (int trial = 0; trial < n_trials; ++trial) {
+        rng r = root.fork(static_cast<std::uint64_t>(trial) + 1);
+        int spare_pool = spares;
+        double slot_downtime = 0.0;
+        int failures = 0;
+        // Pending restock arrival times (launches), earliest first.
+        std::vector<double> restocks;
+
+        // Each active slot fails as an independent Poisson process; walk
+        // events in time using the aggregate rate over active slots.
+        double t = 0.0;
+        while (t < mission_days && daily_rate > 0.0) {
+            const double aggregate = daily_rate * sats_per_plane;
+            t += r.exponential(aggregate);
+            if (t >= mission_days) break;
+            ++failures;
+
+            // Apply any restocks that arrived before this failure.
+            while (!restocks.empty() && restocks.front() <= t) {
+                ++spare_pool;
+                restocks.erase(restocks.begin());
+            }
+
+            if (spare_pool > 0) {
+                --spare_pool;
+                slot_downtime += std::min(options.spare_drift_days, mission_days - t);
+                // The consumed spare is replaced by a launch.
+                restocks.push_back(t + options.launch_lead_days);
+                std::sort(restocks.begin(), restocks.end());
+            } else {
+                slot_downtime += std::min(options.launch_lead_days, mission_days - t);
+            }
+        }
+        downtime_sum += slot_downtime;
+        failures_sum += failures;
+    }
+
+    sparing_result result;
+    result.spares = spares;
+    const double slot_days = mission_days * sats_per_plane * n_trials;
+    result.availability = 1.0 - downtime_sum / slot_days;
+    result.expected_failures_per_plane = failures_sum / n_trials;
+    return result;
+}
+
+sparing_result spares_for_availability(int sats_per_plane, double annual_rate,
+                                       double target_availability,
+                                       const failure_model_options& options,
+                                       std::uint64_t seed,
+                                       int n_trials)
+{
+    expects(target_availability > 0.0 && target_availability < 1.0,
+            "target availability must be in (0, 1)");
+    sparing_result last;
+    for (int spares = 0; spares <= 32; ++spares) {
+        last = simulate_plane_availability(sats_per_plane, spares, annual_rate,
+                                           options, seed, n_trials);
+        if (last.availability >= target_availability) return last;
+    }
+    return last;
+}
+
+} // namespace ssplane::lsn

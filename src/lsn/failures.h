@@ -1,0 +1,55 @@
+// Radiation-driven failure and spare-provisioning model (paper §2.1, §5(2)).
+//
+// The paper's survivability argument: satellite failure rates scale with
+// accumulated radiation dose, so operators keep 2–10 in-orbit spares per
+// plane. Lower-dose constellations need fewer spares. This model makes that
+// quantitative: per-satellite failures are Poisson with an annual rate that
+// scales with daily electron fluence; a plane keeps K spares, a failed slot
+// is restored from a spare after a drift time or (when spares are exhausted)
+// after a launch lead time.
+#ifndef SSPLANE_LSN_FAILURES_H
+#define SSPLANE_LSN_FAILURES_H
+
+#include <cstdint>
+
+namespace ssplane::lsn {
+
+/// Failure/sparing model parameters.
+struct failure_model_options {
+    double base_annual_failure_rate = 0.03;    ///< At the reference fluence.
+    double reference_electron_fluence = 7.0e9; ///< Daily fluence at base rate.
+    double fluence_exponent = 1.0;             ///< rate ∝ (fluence/ref)^exp.
+    double spare_drift_days = 3.0;   ///< Hot-swap time when a spare exists.
+    double launch_lead_days = 60.0;  ///< Restock time when spares exhausted.
+    double mission_years = 5.0;
+};
+
+/// Annual failure probability per satellite given its daily electron fluence.
+double annual_failure_rate(double daily_electron_fluence,
+                           const failure_model_options& options) noexcept;
+
+/// Result of a sparing simulation.
+struct sparing_result {
+    int spares = 0;           ///< Spares per plane used.
+    double availability = 0.0;///< Mean fraction of slots populated over mission.
+    double expected_failures_per_plane = 0.0;
+};
+
+/// Monte-Carlo availability of a plane of `sats_per_plane` active slots with
+/// `spares` in-orbit spares (replenished after launch_lead_days when used).
+sparing_result simulate_plane_availability(int sats_per_plane, int spares,
+                                           double annual_rate,
+                                           const failure_model_options& options,
+                                           std::uint64_t seed,
+                                           int n_trials = 256);
+
+/// Minimum spares per plane reaching `target_availability` (caps at 32).
+sparing_result spares_for_availability(int sats_per_plane, double annual_rate,
+                                       double target_availability,
+                                       const failure_model_options& options,
+                                       std::uint64_t seed,
+                                       int n_trials = 256);
+
+} // namespace ssplane::lsn
+
+#endif // SSPLANE_LSN_FAILURES_H

@@ -1,0 +1,57 @@
+#include "lsn/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/expects.h"
+
+namespace ssplane::lsn {
+
+route_result shortest_route(const network_snapshot& snapshot, int src_node, int dst_node)
+{
+    const auto n = snapshot.adjacency.size();
+    expects(src_node >= 0 && static_cast<std::size_t>(src_node) < n, "bad source node");
+    expects(dst_node >= 0 && static_cast<std::size_t>(dst_node) < n, "bad destination node");
+
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(n, inf);
+    std::vector<int> prev(n, -1);
+    using queue_item = std::pair<double, int>; // (distance, node)
+    std::priority_queue<queue_item, std::vector<queue_item>, std::greater<>> queue;
+
+    dist[static_cast<std::size_t>(src_node)] = 0.0;
+    queue.emplace(0.0, src_node);
+    while (!queue.empty()) {
+        const auto [d, u] = queue.top();
+        queue.pop();
+        if (d > dist[static_cast<std::size_t>(u)]) continue;
+        if (u == dst_node) break;
+        for (const auto& e : snapshot.adjacency[static_cast<std::size_t>(u)]) {
+            const double nd = d + e.latency_s;
+            if (nd < dist[static_cast<std::size_t>(e.to)]) {
+                dist[static_cast<std::size_t>(e.to)] = nd;
+                prev[static_cast<std::size_t>(e.to)] = u;
+                queue.emplace(nd, e.to);
+            }
+        }
+    }
+
+    route_result result;
+    if (dist[static_cast<std::size_t>(dst_node)] == inf) return result;
+    result.reachable = true;
+    result.latency_s = dist[static_cast<std::size_t>(dst_node)];
+    for (int v = dst_node; v != -1; v = prev[static_cast<std::size_t>(v)])
+        result.path.push_back(v);
+    std::reverse(result.path.begin(), result.path.end());
+    result.hops = static_cast<int>(result.path.size()) - 1;
+    return result;
+}
+
+route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b)
+{
+    return shortest_route(snapshot, snapshot.ground_node(ground_a),
+                          snapshot.ground_node(ground_b));
+}
+
+} // namespace ssplane::lsn

@@ -1,0 +1,27 @@
+// Shortest-latency routing over network snapshots.
+#ifndef SSPLANE_LSN_ROUTING_H
+#define SSPLANE_LSN_ROUTING_H
+
+#include <vector>
+
+#include "lsn/topology.h"
+
+namespace ssplane::lsn {
+
+/// Result of a route query.
+struct route_result {
+    bool reachable = false;
+    double latency_s = 0.0; ///< One-way propagation latency.
+    int hops = 0;           ///< Number of links on the path.
+    std::vector<int> path;  ///< Node indices from source to destination.
+};
+
+/// Dijkstra shortest path by latency between two nodes of a snapshot.
+route_result shortest_route(const network_snapshot& snapshot, int src_node, int dst_node);
+
+/// Convenience: route between two ground stations by index.
+route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b);
+
+} // namespace ssplane::lsn
+
+#endif // SSPLANE_LSN_ROUTING_H

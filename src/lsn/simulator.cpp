@@ -1,0 +1,72 @@
+#include "lsn/simulator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "astro/propagator.h"
+#include "util/expects.h"
+#include "util/stats.h"
+
+namespace ssplane::lsn {
+
+latency_stats simulate_pair_latency(const lsn_topology& topology,
+                                    const std::vector<ground_station>& stations,
+                                    int ground_a, int ground_b,
+                                    const astro::instant& epoch,
+                                    const simulation_options& options)
+{
+    expects(ground_a >= 0 && static_cast<std::size_t>(ground_a) < stations.size(),
+            "bad ground index a");
+    expects(ground_b >= 0 && static_cast<std::size_t>(ground_b) < stations.size(),
+            "bad ground index b");
+
+    std::vector<double> latencies_ms;
+    std::vector<double> hops;
+    int reachable = 0;
+    int steps = 0;
+    for (double t_off = 0.0; t_off < options.duration_s; t_off += options.step_s) {
+        const astro::instant t = epoch.plus_seconds(t_off);
+        const auto snap = snapshot_at(topology, stations, epoch, t,
+                                      options.min_elevation_rad, options.max_isl_range_m);
+        const auto route = ground_route(snap, ground_a, ground_b);
+        ++steps;
+        if (route.reachable) {
+            ++reachable;
+            latencies_ms.push_back(route.latency_s * 1000.0);
+            hops.push_back(static_cast<double>(route.hops));
+        }
+    }
+
+    latency_stats stats;
+    stats.reachable_fraction =
+        steps > 0 ? static_cast<double>(reachable) / steps : 0.0;
+    if (!latencies_ms.empty()) {
+        stats.mean_latency_ms = mean(latencies_ms);
+        stats.p95_latency_ms = percentile(latencies_ms, 95.0);
+        stats.min_latency_ms = min_value(latencies_ms);
+        stats.max_latency_ms = max_value(latencies_ms);
+        stats.mean_hops = mean(hops);
+    }
+    return stats;
+}
+
+double coverage_fraction(const lsn_topology& topology,
+                         const ground_station& station,
+                         const astro::instant& epoch,
+                         const simulation_options& options)
+{
+    const std::vector<ground_station> stations{station};
+    int covered = 0;
+    int steps = 0;
+    for (double t_off = 0.0; t_off < options.duration_s; t_off += options.step_s) {
+        const astro::instant t = epoch.plus_seconds(t_off);
+        const auto snap = snapshot_at(topology, stations, epoch, t,
+                                      options.min_elevation_rad, options.max_isl_range_m);
+        ++steps;
+        if (!snap.adjacency[static_cast<std::size_t>(snap.ground_node(0))].empty())
+            ++covered;
+    }
+    return steps > 0 ? static_cast<double>(covered) / steps : 0.0;
+}
+
+} // namespace ssplane::lsn

@@ -1,0 +1,138 @@
+#include "lsn/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "astro/constants.h"
+#include "astro/propagator.h"
+#include "util/expects.h"
+
+namespace ssplane::lsn {
+
+lsn_topology build_walker_grid_topology(const constellation::walker_parameters& params)
+{
+    lsn_topology topo;
+    topo.satellites = constellation::make_walker_delta(params);
+
+    const int p = params.n_planes;
+    const int s = params.sats_per_plane;
+    const auto index = [s](int plane, int slot) { return plane * s + slot; };
+
+    for (int plane = 0; plane < p; ++plane) {
+        for (int slot = 0; slot < s; ++slot) {
+            // Intra-plane ring.
+            if (s > 1) topo.links.push_back({index(plane, slot), index(plane, (slot + 1) % s)});
+            // Cross-plane link to the same slot of the next plane (+Grid).
+            if (p > 1) topo.links.push_back({index(plane, slot), index((plane + 1) % p, slot)});
+        }
+    }
+    return topo;
+}
+
+lsn_topology build_ss_topology(const std::vector<constellation::ss_plane>& planes,
+                               const astro::instant& epoch)
+{
+    lsn_topology topo;
+    topo.satellites = constellation::make_ss_constellation(planes, epoch);
+
+    // Order planes by LTAN so "adjacent" means adjacent in local time.
+    std::vector<std::size_t> order(planes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return planes[a].ltan_h < planes[b].ltan_h;
+    });
+
+    // Plane start offsets in the satellite array (planes are concatenated).
+    std::vector<int> start(planes.size() + 1, 0);
+    for (std::size_t i = 0; i < planes.size(); ++i)
+        start[i + 1] = start[i] + planes[i].n_sats;
+
+    for (std::size_t i = 0; i < planes.size(); ++i) {
+        const int s = planes[i].n_sats;
+        for (int slot = 0; slot < s; ++slot) {
+            if (s > 1)
+                topo.links.push_back({start[i] + slot, start[i] + (slot + 1) % s});
+        }
+    }
+    // LTAN-adjacent cross links at matching slots (modulo differing sizes).
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+        const std::size_t i = order[k];
+        const std::size_t j = order[k + 1];
+        const int si = planes[i].n_sats;
+        const int sj = planes[j].n_sats;
+        const int n_cross = std::min(si, sj);
+        for (int slot = 0; slot < n_cross; ++slot) {
+            const int other = slot * sj / si;
+            topo.links.push_back({start[i] + slot, start[j] + other});
+        }
+    }
+    return topo;
+}
+
+std::vector<ground_station> default_ground_stations()
+{
+    return {
+        {"New York", 40.71, -74.01},   {"Los Angeles", 34.05, -118.24},
+        {"Sao Paulo", -23.55, -46.63}, {"London", 51.51, -0.13},
+        {"Lagos", 6.52, 3.38},         {"Johannesburg", -26.20, 28.05},
+        {"Dubai", 25.20, 55.27},       {"Delhi", 28.61, 77.21},
+        {"Singapore", 1.35, 103.82},   {"Tokyo", 35.69, 139.69},
+        {"Sydney", -33.87, 151.21},    {"Anchorage", 61.22, -149.90},
+    };
+}
+
+network_snapshot snapshot_at(const lsn_topology& topology,
+                             const std::vector<ground_station>& stations,
+                             const astro::instant& epoch,
+                             const astro::instant& t,
+                             double min_elevation_rad,
+                             double max_isl_range_m)
+{
+    network_snapshot snap;
+    snap.n_satellites = static_cast<int>(topology.satellites.size());
+    snap.n_ground = static_cast<int>(stations.size());
+    snap.positions_ecef_m.reserve(
+        static_cast<std::size_t>(snap.n_satellites + snap.n_ground));
+    snap.adjacency.resize(static_cast<std::size_t>(snap.n_satellites + snap.n_ground));
+
+    for (const auto& sat : topology.satellites) {
+        const astro::j2_propagator orbit(sat.elements, epoch);
+        snap.positions_ecef_m.push_back(
+            astro::eci_to_ecef(orbit.state_at(t).position_m, t));
+    }
+    std::vector<astro::geodetic> ground_geodetic;
+    ground_geodetic.reserve(stations.size());
+    for (const auto& gs : stations) {
+        const astro::geodetic g{gs.latitude_deg, gs.longitude_deg, 0.0};
+        ground_geodetic.push_back(g);
+        snap.positions_ecef_m.push_back(astro::geodetic_to_ecef(g));
+    }
+
+    const auto add_edge = [&](int a, int b) {
+        const double d =
+            (snap.positions_ecef_m[static_cast<std::size_t>(a)] -
+             snap.positions_ecef_m[static_cast<std::size_t>(b)]).norm();
+        const double latency = d / astro::speed_of_light_m_s;
+        snap.adjacency[static_cast<std::size_t>(a)].push_back({b, latency});
+        snap.adjacency[static_cast<std::size_t>(b)].push_back({a, latency});
+    };
+
+    for (const auto& link : topology.links) {
+        const double d = (snap.positions_ecef_m[static_cast<std::size_t>(link.a)] -
+                          snap.positions_ecef_m[static_cast<std::size_t>(link.b)]).norm();
+        if (d <= max_isl_range_m) add_edge(link.a, link.b);
+    }
+
+    for (int g = 0; g < snap.n_ground; ++g) {
+        const int gs_node = snap.ground_node(g);
+        for (int s = 0; s < snap.n_satellites; ++s) {
+            const double elev = astro::elevation_angle_rad(
+                ground_geodetic[static_cast<std::size_t>(g)],
+                snap.positions_ecef_m[static_cast<std::size_t>(s)]);
+            if (elev >= min_elevation_rad) add_edge(gs_node, s);
+        }
+    }
+    return snap;
+}
+
+} // namespace ssplane::lsn

@@ -1,0 +1,77 @@
+// Inter-satellite-link topologies and time-sliced network snapshots
+// (paper §5 research agenda: time-aware topology and routing).
+//
+// Walker shells use the standard +Grid (intra-plane ring + same-slot links
+// to adjacent planes). SS constellations use intra-plane rings plus
+// same-slot links between planes adjacent in LTAN.
+#ifndef SSPLANE_LSN_TOPOLOGY_H
+#define SSPLANE_LSN_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "astro/frames.h"
+#include "constellation/sun_sync.h"
+#include "constellation/walker.h"
+
+namespace ssplane::lsn {
+
+/// Undirected inter-satellite link between satellite indices.
+struct isl_link {
+    int a = 0;
+    int b = 0;
+};
+
+/// A constellation plus its (static) ISL wiring.
+struct lsn_topology {
+    std::vector<constellation::satellite> satellites;
+    std::vector<isl_link> links;
+};
+
+/// +Grid topology for one Walker shell.
+lsn_topology build_walker_grid_topology(const constellation::walker_parameters& params);
+
+/// Ring + LTAN-adjacent topology for an SS constellation.
+lsn_topology build_ss_topology(const std::vector<constellation::ss_plane>& planes,
+                               const astro::instant& epoch);
+
+/// A ground endpoint (user terminal or gateway).
+struct ground_station {
+    std::string name;
+    double latitude_deg = 0.0;
+    double longitude_deg = 0.0;
+};
+
+/// A dozen large metros spread over latitudes/longitudes, for experiments.
+std::vector<ground_station> default_ground_stations();
+
+/// Instantaneous network graph: satellites first, then ground stations.
+struct network_snapshot {
+    struct edge {
+        int to = 0;
+        double latency_s = 0.0;
+    };
+    std::vector<vec3> positions_ecef_m;     ///< Node positions (sats + ground).
+    std::vector<std::vector<edge>> adjacency;
+    int n_satellites = 0;
+    int n_ground = 0;
+
+    int ground_node(int ground_index) const noexcept
+    {
+        return n_satellites + ground_index;
+    }
+};
+
+/// Build the graph at time `t`: ISLs within `max_isl_range_m` plus ground
+/// links wherever a satellite is above `min_elevation_rad`. Latencies are
+/// geometric distance over the speed of light.
+network_snapshot snapshot_at(const lsn_topology& topology,
+                             const std::vector<ground_station>& stations,
+                             const astro::instant& epoch,
+                             const astro::instant& t,
+                             double min_elevation_rad,
+                             double max_isl_range_m = 6.0e6);
+
+} // namespace ssplane::lsn
+
+#endif // SSPLANE_LSN_TOPOLOGY_H

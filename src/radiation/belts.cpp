@@ -1,0 +1,95 @@
+#include "radiation/belts.h"
+
+#include <cmath>
+
+#include "astro/constants.h"
+#include "radiation/solar_cycle.h"
+#include "util/angles.h"
+
+namespace ssplane::radiation {
+
+namespace {
+
+double gaussian(double x, double center, double width) noexcept
+{
+    const double d = (x - center) / width;
+    return std::exp(-d * d);
+}
+
+} // namespace
+
+radiation_environment::radiation_environment()
+    : radiation_environment(dipole_model::eccentric_2015(), belt_parameters{})
+{
+}
+
+radiation_environment::radiation_environment(const dipole_model& dipole,
+                                             const belt_parameters& params)
+    : dipole_(dipole), params_(params)
+{
+}
+
+particle_flux radiation_environment::flux(const vec3& r_ecef_m,
+                                          double activity) const noexcept
+{
+    particle_flux out;
+
+    const double r = r_ecef_m.norm();
+    if (r < astro::earth_mean_radius_m + params_.atmospheric_cutoff_altitude_m)
+        return out;
+
+    const magnetic_coordinates mc = dipole_.coordinates_at(r_ecef_m);
+    const double b_ratio = mc.b_over_b0();
+    if (b_ratio <= 0.0) return out;
+
+    // Drift-shell atmospheric loss (inner belt only): a particle observed
+    // here drifts through all longitudes at (roughly) constant dipole
+    // distance; with the eccentric dipole that sweep dips by up to the
+    // center offset, and shells reaching the atmosphere anywhere are
+    // emptied. This is the mechanism that makes the SAA the only low-L flux
+    // region at LEO. The diffusion-replenished outer electron belt is
+    // exempt (its LEO "horns" are continuously refilled from above).
+    const double r_dipole = (r_ecef_m - dipole_.center_offset_m()).norm();
+    const double min_drift_altitude = r_dipole - dipole_.center_offset_m().norm() -
+                                      astro::earth_mean_radius_m;
+    const double inner_survival =
+        clamp((min_drift_altitude - params_.atmospheric_cutoff_altitude_m) /
+                  params_.drift_loss_taper_m,
+              0.0, 1.0);
+
+    // Electrons: inner belt + activity-driven outer belt, each thinned away
+    // from the magnetic equator with its own pitch-angle steepness.
+    const double outer_scale =
+        params_.electron_activity_floor + params_.electron_activity_gain * activity;
+    const double inner =
+        params_.electron_inner_amplitude * inner_survival *
+        gaussian(mc.l_shell, params_.electron_inner_center_l,
+                 params_.electron_inner_width_l) *
+        std::pow(b_ratio, -params_.electron_inner_confinement_exponent);
+    const double outer =
+        params_.electron_outer_amplitude * outer_scale *
+        gaussian(mc.l_shell, params_.electron_outer_center_l,
+                 params_.electron_outer_width_l) *
+        std::pow(b_ratio, -params_.electron_outer_confinement_exponent);
+    out.electrons_cm2_s_mev = inner + outer;
+
+    // Protons: single inner belt, more strongly confined to the equator,
+    // mildly suppressed at high activity.
+    const double proton_scale =
+        params_.proton_activity_floor + params_.proton_activity_slope * std::min(activity, 1.5);
+    const double proton_equatorial =
+        params_.proton_amplitude * proton_scale * inner_survival *
+        gaussian(mc.l_shell, params_.proton_center_l, params_.proton_width_l);
+    out.protons_cm2_s_mev =
+        proton_equatorial * std::pow(b_ratio, -params_.proton_confinement_exponent);
+
+    return out;
+}
+
+particle_flux radiation_environment::flux_at(const vec3& r_ecef_m,
+                                             const astro::instant& t) const noexcept
+{
+    return flux(r_ecef_m, solar_activity(t));
+}
+
+} // namespace ssplane::radiation

@@ -1,0 +1,70 @@
+#include "radiation/solar_cycle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angles.h"
+#include "util/expects.h"
+#include "util/rng.h"
+
+namespace ssplane::radiation {
+
+astro::instant solar_cycle24_start() noexcept
+{
+    return astro::instant::from_calendar(2008, 12, 1);
+}
+
+astro::instant solar_cycle24_end() noexcept
+{
+    return astro::instant::from_calendar(2019, 12, 1);
+}
+
+double solar_activity_envelope(const astro::instant& t) noexcept
+{
+    const double cycle_days =
+        solar_cycle24_end().seconds_since(solar_cycle24_start()) / astro::seconds_per_day;
+    const double x =
+        t.seconds_since(solar_cycle24_start()) / astro::seconds_per_day / cycle_days;
+    const double clamped = clamp(x, 0.0, 1.0);
+
+    // Asymmetric rise/decline with the double peak cycle 24 displayed
+    // (peaks near 2011.9 and 2014.3 -> x ~ 0.27 and 0.49).
+    auto peak = [](double x0, double center, double width) {
+        const double d = (x0 - center) / width;
+        return std::exp(-d * d);
+    };
+    const double value = 0.75 * peak(clamped, 0.27, 0.13) + 1.0 * peak(clamped, 0.49, 0.17);
+    return clamp(value, 0.0, 1.0);
+}
+
+double solar_activity(const astro::instant& t) noexcept
+{
+    // Deterministic day-scale jitter: hash the civil day number (Julian
+    // dates roll over at noon, so shift by half a day first).
+    const auto day = static_cast<std::uint64_t>(std::floor(t.julian_date() + 0.5));
+    rng day_noise(day * 0x9E3779B97F4A7C15ULL + 0xBADC0FFEEULL);
+    // Geomagnetic disturbances are bursty: occasionally a storm multiplies
+    // the effective activity; most days sit near the envelope.
+    double jitter = day_noise.lognormal(0.0, 0.25);
+    if (day_noise.bernoulli(0.05)) jitter *= day_noise.uniform(1.5, 3.0); // storm day
+    return solar_activity_envelope(t) * jitter;
+}
+
+std::vector<astro::instant> sample_cycle24_days(int n, std::uint64_t seed)
+{
+    expects(n > 0, "need a positive number of sample days");
+    rng r(seed);
+    const double cycle_days =
+        solar_cycle24_end().seconds_since(solar_cycle24_start()) / astro::seconds_per_day;
+    std::vector<double> offsets(static_cast<std::size_t>(n));
+    for (auto& d : offsets) d = r.uniform(0.0, cycle_days);
+    std::sort(offsets.begin(), offsets.end());
+
+    std::vector<astro::instant> days;
+    days.reserve(offsets.size());
+    for (double d : offsets)
+        days.push_back(solar_cycle24_start().plus_days(std::floor(d)));
+    return days;
+}
+
+} // namespace ssplane::radiation

@@ -1,0 +1,35 @@
+// Solar activity model over solar cycle 24 (Dec 2008 – Dec 2019).
+//
+// Radiation-belt intensity — especially the outer electron belt — tracks
+// solar/geomagnetic activity. The paper aggregates IRENE outputs over "a
+// sample of days randomly selected from solar cycle 24"; this model provides
+// the equivalent: a smooth cycle envelope (double-peaked maximum near
+// 2012–2014, as cycle 24 had) plus deterministic day-to-day variability.
+#ifndef SSPLANE_RADIATION_SOLAR_CYCLE_H
+#define SSPLANE_RADIATION_SOLAR_CYCLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "astro/time.h"
+
+namespace ssplane::radiation {
+
+/// Solar cycle 24 boundaries (approximate solar minima).
+astro::instant solar_cycle24_start() noexcept; ///< 2008-12-01
+astro::instant solar_cycle24_end() noexcept;   ///< 2019-12-01
+
+/// Smooth activity envelope in [0, 1]: 0 at minimum, 1 at cycle maximum.
+double solar_activity_envelope(const astro::instant& t) noexcept;
+
+/// Activity including day-scale geomagnetic variability, >= 0 and O(1).
+/// Deterministic: the same instant always yields the same value.
+double solar_activity(const astro::instant& t) noexcept;
+
+/// `n` instants drawn uniformly from solar cycle 24 (deterministic in `seed`),
+/// sorted in time — the paper's "sample of 128 days from solar cycle 24".
+std::vector<astro::instant> sample_cycle24_days(int n, std::uint64_t seed);
+
+} // namespace ssplane::radiation
+
+#endif // SSPLANE_RADIATION_SOLAR_CYCLE_H

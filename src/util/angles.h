@@ -1,0 +1,93 @@
+// Angle conversions and wrapping helpers.
+//
+// Conventions used throughout the library:
+//   * internal computations are in radians,
+//   * public-facing parameters/results that represent geography use degrees,
+//   * time-of-day is expressed in hours in [0, 24).
+#ifndef SSPLANE_UTIL_ANGLES_H
+#define SSPLANE_UTIL_ANGLES_H
+
+#include <cmath>
+#include <numbers>
+
+namespace ssplane {
+
+inline constexpr double pi = std::numbers::pi;
+inline constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// Degrees to radians.
+constexpr double deg2rad(double deg) noexcept { return deg * (pi / 180.0); }
+
+/// Radians to degrees.
+constexpr double rad2deg(double rad) noexcept { return rad * (180.0 / pi); }
+
+/// Hours of (solar) time to the equivalent rotation angle in radians (15°/h).
+constexpr double hours2rad(double hours) noexcept { return hours * (pi / 12.0); }
+
+/// Rotation angle in radians to hours of (solar) time.
+constexpr double rad2hours(double rad) noexcept { return rad * (12.0 / pi); }
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_two_pi(double angle) noexcept
+{
+    double a = std::fmod(angle, two_pi);
+    if (a < 0.0) a += two_pi;
+    return a;
+}
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_pi(double angle) noexcept
+{
+    double a = wrap_two_pi(angle);
+    if (a > pi) a -= two_pi;
+    return a;
+}
+
+/// Wrap degrees to [0, 360).
+inline double wrap_deg_360(double deg) noexcept
+{
+    double a = std::fmod(deg, 360.0);
+    if (a < 0.0) a += 360.0;
+    return a;
+}
+
+/// Wrap degrees to (-180, 180].
+inline double wrap_deg_180(double deg) noexcept
+{
+    double a = wrap_deg_360(deg);
+    if (a > 180.0) a -= 360.0;
+    return a;
+}
+
+/// Wrap a time of day to [0, 24).
+inline double wrap_hours_24(double hours) noexcept
+{
+    double h = std::fmod(hours, 24.0);
+    if (h < 0.0) h += 24.0;
+    return h;
+}
+
+/// Shortest signed difference a-b between two times of day, in (-12, 12].
+inline double hour_difference(double a, double b) noexcept
+{
+    double d = std::fmod(a - b, 24.0);
+    if (d <= -12.0) d += 24.0;
+    if (d > 12.0) d -= 24.0;
+    return d;
+}
+
+/// Clamp x into [lo, hi].
+constexpr double clamp(double x, double lo, double hi) noexcept
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// acos with the argument clamped into [-1, 1] (guards rounding noise).
+inline double safe_acos(double x) noexcept { return std::acos(clamp(x, -1.0, 1.0)); }
+
+/// asin with the argument clamped into [-1, 1] (guards rounding noise).
+inline double safe_asin(double x) noexcept { return std::asin(clamp(x, -1.0, 1.0)); }
+
+} // namespace ssplane
+
+#endif // SSPLANE_UTIL_ANGLES_H

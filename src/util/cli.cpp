@@ -1,0 +1,53 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace ssplane {
+
+cli_args::cli_args(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                options_[arg.substr(2)] = "";
+            } else {
+                options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            }
+        } else {
+            positional_.push_back(arg);
+        }
+    }
+}
+
+bool cli_args::has(const std::string& name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string cli_args::get(const std::string& name, const std::string& fallback) const
+{
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+double cli_args::get_double(const std::string& name, double fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return end == it->second.c_str() ? fallback : v;
+}
+
+long cli_args::get_int(const std::string& name, long fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    return end == it->second.c_str() ? fallback : v;
+}
+
+} // namespace ssplane

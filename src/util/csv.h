@@ -1,0 +1,49 @@
+// CSV emission for bench/figure outputs.
+//
+// Benches print their series as CSV blocks on stdout so any plotting tool
+// can regenerate the paper's figures from captured output.
+#ifndef SSPLANE_UTIL_CSV_H
+#define SSPLANE_UTIL_CSV_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssplane {
+
+/// Streams rows of comma-separated values with a fixed header.
+///
+/// Usage:
+///   csv_writer csv(std::cout, {"altitude_km", "n_satellites"});
+///   csv.row({550.0, 1584.0});
+class csv_writer {
+public:
+    /// Writes the header line immediately.
+    csv_writer(std::ostream& out, std::vector<std::string> columns);
+
+    /// Write one row of numeric cells; the count must match the header.
+    void row(std::initializer_list<double> cells);
+
+    /// Write one row of numeric cells; the count must match the header.
+    void row(const std::vector<double>& cells);
+
+    /// Write one row of preformatted string cells.
+    void row_text(const std::vector<std::string>& cells);
+
+    /// Number of data rows written so far.
+    std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    std::ostream& out_;
+    std::size_t n_columns_;
+    std::size_t rows_ = 0;
+};
+
+/// Format a double compactly (up to `precision` significant digits,
+/// no trailing zeros).
+std::string format_number(double value, int precision = 10);
+
+} // namespace ssplane
+
+#endif // SSPLANE_UTIL_CSV_H

@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of GSL Expects()/Ensures().
+//
+// Violations throw ssplane::contract_violation (derived from std::logic_error)
+// so tests can assert on them and callers get a diagnosable failure rather
+// than undefined behaviour.
+#ifndef SSPLANE_UTIL_EXPECTS_H
+#define SSPLANE_UTIL_EXPECTS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ssplane {
+
+/// Thrown when a precondition or postcondition stated with expects()/ensures()
+/// does not hold.
+class contract_violation : public std::logic_error {
+public:
+    explicit contract_violation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+/// Precondition check: throws contract_violation when `condition` is false.
+inline void expects(bool condition, const char* message = "precondition violated")
+{
+    if (!condition) throw contract_violation(message);
+}
+
+/// Postcondition check: throws contract_violation when `condition` is false.
+inline void ensures(bool condition, const char* message = "postcondition violated")
+{
+    if (!condition) throw contract_violation(message);
+}
+
+} // namespace ssplane
+
+#endif // SSPLANE_UTIL_EXPECTS_H

@@ -1,0 +1,109 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace ssplane {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+rng::rng(std::uint64_t seed) noexcept
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() noexcept
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() noexcept
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept
+{
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double rng::normal() noexcept
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 in (0,1] avoids log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) noexcept
+{
+    return mean + stddev * normal();
+}
+
+double rng::lognormal(double mu_log, double sigma_log) noexcept
+{
+    return std::exp(normal(mu_log, sigma_log));
+}
+
+double rng::exponential(double rate) noexcept
+{
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+double rng::pareto(double x_min, double alpha) noexcept
+{
+    return x_min / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+bool rng::bernoulli(double p) noexcept
+{
+    return uniform() < p;
+}
+
+rng rng::fork(std::uint64_t stream_index) noexcept
+{
+    // Mix the current state with the stream index for an independent child.
+    std::uint64_t mix = state_[0] ^ (stream_index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+    return rng(mix);
+}
+
+} // namespace ssplane

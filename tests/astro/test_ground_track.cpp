@@ -1,0 +1,131 @@
+#include "astro/ground_track.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::astro {
+namespace {
+
+TEST(GroundTrack, SampleCountAndEndpoints)
+{
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0),
+                              instant::j2000());
+    const auto track = sample_ground_track(orbit, instant::j2000(), 600.0, 60.0);
+    ASSERT_EQ(track.size(), 11u);
+    EXPECT_NEAR(track.front().time.seconds_since(instant::j2000()), 0.0, 1e-4);
+    EXPECT_NEAR(track.back().time.seconds_since(instant::j2000()), 600.0, 1e-4);
+}
+
+TEST(GroundTrack, NonDivisibleDurationIncludesEndpoint)
+{
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0),
+                              instant::j2000());
+    const auto track = sample_ground_track(orbit, instant::j2000(), 100.0, 33.0);
+    EXPECT_NEAR(track.back().time.seconds_since(instant::j2000()), 100.0, 1e-4);
+}
+
+TEST(GroundTrack, InputValidation)
+{
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0),
+                              instant::j2000());
+    EXPECT_THROW(sample_ground_track(orbit, instant::j2000(), -1.0, 10.0),
+                 contract_violation);
+    EXPECT_THROW(sample_ground_track(orbit, instant::j2000(), 100.0, 0.0),
+                 contract_violation);
+}
+
+TEST(GroundTrack, SubsatelliteAltitudeMatchesOrbit)
+{
+    const j2_propagator orbit(circular_orbit(800.0e3, deg2rad(50.0), 1.0, 2.0),
+                              instant::j2000());
+    const auto track = sample_ground_track(orbit, instant::j2000(), 3000.0, 300.0);
+    for (const auto& p : track) {
+        // Geodetic altitude differs from the mean-radius altitude by up to
+        // ~15 km of ellipsoidal flattening.
+        EXPECT_NEAR(p.ground.altitude_m, 800.0e3, 16.0e3);
+    }
+}
+
+TEST(GroundTrack, LatitudeBoundedByEffectiveInclination)
+{
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 0.5, 0.0),
+                              instant::j2000());
+    const auto track =
+        sample_ground_track(orbit, instant::j2000(), 2.0 * 5746.0, 30.0);
+    for (const auto& p : track) {
+        EXPECT_LE(std::abs(p.ground.latitude_deg), 65.5);
+    }
+}
+
+TEST(GroundTrack, ProgradeTrackMovesEastAtEquator)
+{
+    // Near the ascending node, a 65-degree prograde track heads northeast.
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0),
+                              instant::j2000());
+    const auto track = sample_ground_track(orbit, instant::j2000(), 120.0, 60.0);
+    EXPECT_GT(track[1].ground.latitude_deg, track[0].ground.latitude_deg);
+    EXPECT_GT(wrap_deg_180(track[1].ground.longitude_deg - track[0].ground.longitude_deg),
+              0.0);
+}
+
+TEST(GroundTrack, RetrogradeTrackMovesWestAtEquator)
+{
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(97.6), 0.0, 0.0),
+                              instant::j2000());
+    const auto track = sample_ground_track(orbit, instant::j2000(), 120.0, 60.0);
+    EXPECT_LT(wrap_deg_180(track[1].ground.longitude_deg - track[0].ground.longitude_deg),
+              0.0);
+}
+
+TEST(GroundTrack, SunSynchronousTrackHasFixedLocalTime)
+{
+    // The defining SS property: each latitude is always crossed at the same
+    // local solar time, even months apart.
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(97.604), 1.0, 0.0),
+                              instant::j2000());
+
+    const auto tod_at_equator_crossing = [&](const instant& start) {
+        // Sample one orbit and find the ascending equator crossing.
+        const auto track = sample_ground_track(orbit, start, 6000.0, 10.0);
+        for (std::size_t i = 1; i < track.size(); ++i) {
+            if (track[i - 1].sun_rel.latitude_deg < 0.0 &&
+                track[i].sun_rel.latitude_deg >= 0.0) {
+                return track[i].sun_rel.local_solar_time_h;
+            }
+        }
+        return -1.0;
+    };
+
+    const double tod0 = tod_at_equator_crossing(instant::j2000());
+    const double tod90 = tod_at_equator_crossing(instant::j2000().plus_days(90.0));
+    ASSERT_GE(tod0, 0.0);
+    ASSERT_GE(tod90, 0.0);
+    // Drift over 3 months stays within a few minutes of local time.
+    EXPECT_NEAR(hour_difference(tod0, tod90), 0.0, 0.15);
+}
+
+TEST(GroundTrack, NonSunSynchronousTrackDrifts)
+{
+    // A 65-degree orbit's crossing time drifts by hours over 90 days.
+    const j2_propagator orbit(circular_orbit(560.0e3, deg2rad(65.0), 1.0, 0.0),
+                              instant::j2000());
+    const auto tod_at = [&](const instant& start) {
+        const auto track = sample_ground_track(orbit, start, 6000.0, 10.0);
+        for (std::size_t i = 1; i < track.size(); ++i) {
+            if (track[i - 1].sun_rel.latitude_deg < 0.0 &&
+                track[i].sun_rel.latitude_deg >= 0.0)
+                return track[i].sun_rel.local_solar_time_h;
+        }
+        return -1.0;
+    };
+    // (30 days: the full drift is ~8 h; longer spans wrap modulo 24 h.)
+    const double drift =
+        hour_difference(tod_at(instant::j2000().plus_days(30.0)), tod_at(instant::j2000()));
+    EXPECT_GT(std::abs(drift), 1.0);
+}
+
+} // namespace
+} // namespace ssplane::astro

@@ -1,0 +1,71 @@
+#include "astro/sun.h"
+
+#include <gtest/gtest.h>
+
+namespace ssplane::astro {
+namespace {
+
+TEST(Sun, DirectionIsUnitVector)
+{
+    for (double d : {0.0, 100.0, 2000.0, 5000.0}) {
+        const sun_state s = sun_position(instant::j2000().plus_days(d));
+        EXPECT_NEAR(s.direction_eci.norm(), 1.0, 1e-12);
+    }
+}
+
+TEST(Sun, DistanceNearOneAu)
+{
+    for (double d : {0.0, 91.0, 182.0, 273.0}) {
+        const sun_state s = sun_position(instant::j2000().plus_days(d));
+        EXPECT_GT(s.distance_m, 0.98 * astronomical_unit_m);
+        EXPECT_LT(s.distance_m, 1.02 * astronomical_unit_m);
+    }
+}
+
+TEST(Sun, PerihelionInEarlyJanuary)
+{
+    const double d_jan = sun_position(instant::from_calendar(2015, 1, 3)).distance_m;
+    const double d_jul = sun_position(instant::from_calendar(2015, 7, 4)).distance_m;
+    EXPECT_LT(d_jan, d_jul);
+}
+
+TEST(Sun, DeclinationAtSolsticesAndEquinoxes)
+{
+    // 2015 June solstice ~June 21, December ~Dec 22, equinoxes ~Mar 20/Sep 23.
+    EXPECT_NEAR(rad2deg(sun_position(instant::from_calendar(2015, 6, 21, 17))
+                            .declination_rad), 23.44, 0.1);
+    EXPECT_NEAR(rad2deg(sun_position(instant::from_calendar(2015, 12, 22, 5))
+                            .declination_rad), -23.44, 0.1);
+    EXPECT_NEAR(rad2deg(sun_position(instant::from_calendar(2015, 3, 20, 22))
+                            .declination_rad), 0.0, 0.5);
+    EXPECT_NEAR(rad2deg(sun_position(instant::from_calendar(2015, 9, 23, 8))
+                            .declination_rad), 0.0, 0.5);
+}
+
+TEST(Sun, SubsolarPointNearNoonMeridian)
+{
+    // At 12:00 UT the subsolar longitude is near 0 (within the equation of
+    // time, < ~4 degrees).
+    for (int month : {1, 4, 7, 10}) {
+        const auto sub = subsolar(instant::from_calendar(2016, month, 15, 12));
+        EXPECT_LT(std::abs(sub.longitude_deg), 4.5) << "month " << month;
+        EXPECT_LT(std::abs(sub.latitude_deg), 23.5);
+    }
+}
+
+TEST(Sun, RightAscensionAdvancesThroughYear)
+{
+    // RA should advance ~360 degrees over a year.
+    const instant t0 = instant::from_calendar(2014, 1, 1);
+    double prev = sun_position(t0).right_ascension_rad;
+    double advanced = 0.0;
+    for (int d = 1; d <= 365; ++d) {
+        const double ra = sun_position(t0.plus_days(d)).right_ascension_rad;
+        advanced += wrap_two_pi(ra - prev);
+        prev = ra;
+    }
+    EXPECT_NEAR(rad2deg(advanced), 360.0, 1.5);
+}
+
+} // namespace
+} // namespace ssplane::astro

@@ -1,0 +1,94 @@
+#include "astro/time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::astro {
+namespace {
+
+TEST(Time, J2000Epoch)
+{
+    EXPECT_DOUBLE_EQ(instant::j2000().julian_date(), 2451545.0);
+    EXPECT_DOUBLE_EQ(instant::from_calendar(2000, 1, 1, 12).julian_date(), 2451545.0);
+}
+
+TEST(Time, KnownJulianDates)
+{
+    // Standard reference values.
+    EXPECT_DOUBLE_EQ(instant::from_calendar(1970, 1, 1, 0).julian_date(), 2440587.5);
+    EXPECT_DOUBLE_EQ(instant::from_calendar(1999, 12, 31, 0).julian_date(), 2451543.5);
+    EXPECT_DOUBLE_EQ(instant::from_calendar(2024, 2, 29, 0).julian_date(), 2460369.5);
+}
+
+TEST(Time, CalendarValidation)
+{
+    EXPECT_THROW(instant::from_calendar(2020, 0, 1), contract_violation);
+    EXPECT_THROW(instant::from_calendar(2020, 13, 1), contract_violation);
+    EXPECT_THROW(instant::from_calendar(2020, 1, 0), contract_violation);
+}
+
+TEST(Time, ArithmeticInSeconds)
+{
+    const instant t0 = instant::j2000();
+    const instant t1 = t0.plus_seconds(86400.0);
+    EXPECT_DOUBLE_EQ(t1.julian_date(), 2451546.0);
+    EXPECT_DOUBLE_EQ(t1.seconds_since(t0), 86400.0);
+    EXPECT_DOUBLE_EQ(t0.seconds_since(t1), -86400.0);
+    EXPECT_DOUBLE_EQ(t0.plus_days(2.5).days_since_j2000(), 2.5);
+    EXPECT_LT(t0, t1);
+}
+
+TEST(Time, GmstAtJ2000MatchesAlmanac)
+{
+    // GMST at J2000.0 is 280.46061837 degrees.
+    EXPECT_NEAR(rad2deg(gmst_rad(instant::j2000())), 280.46061837, 1e-6);
+}
+
+TEST(Time, GmstAdvancesFasterThanSolarTime)
+{
+    // Sidereal day is ~3m56s shorter than the solar day: after exactly one
+    // solar day GMST advances by ~360.9856 degrees.
+    const instant t0 = instant::j2000();
+    const double g0 = gmst_rad(t0);
+    const double g1 = gmst_rad(t0.plus_days(1.0));
+    const double advance = wrap_two_pi(g1 - g0);
+    EXPECT_NEAR(rad2deg(advance), 0.98564736629, 1e-4);
+}
+
+TEST(Time, MeanSolarNoonAtGreenwich)
+{
+    // At J2000.0 (12:00 near-UT) the mean solar time at longitude 0 is noon.
+    EXPECT_NEAR(mean_solar_time_hours(instant::j2000(), 0.0), 12.0, 2.0 / 60.0);
+}
+
+class LongitudeSolarTimeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LongitudeSolarTimeTest, SolarTimeTracksLongitude)
+{
+    // Mean solar time changes by 1 hour per 15 degrees of longitude.
+    const instant t = instant::from_calendar(2014, 6, 1, 6);
+    const double base = mean_solar_time_hours(t, 0.0);
+    const double lon = GetParam();
+    const double expected = wrap_hours_24(base + lon / 15.0);
+    EXPECT_NEAR(hour_difference(mean_solar_time_hours(t, lon), expected), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Longitudes, LongitudeSolarTimeTest,
+                         ::testing::Values(-180.0, -90.0, -15.0, 15.0, 90.0, 179.0));
+
+TEST(Time, SolarTimeOfSunDirectionIsNoon)
+{
+    // The direction pointing at the mean sun must read 12:00 local.
+    for (double d : {0.0, 50.5, 200.25, 365.0}) {
+        const instant t = instant::j2000().plus_days(d);
+        const double ra = mean_sun_right_ascension_rad(t);
+        EXPECT_NEAR(solar_time_of_right_ascension_hours(t, ra), 12.0, 1e-9);
+        // The anti-solar direction reads midnight.
+        const double tod = solar_time_of_right_ascension_hours(t, ra + pi);
+        EXPECT_NEAR(hour_difference(tod, 0.0), 0.0, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace ssplane::astro

@@ -1,0 +1,132 @@
+#include "constellation/sun_sync.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "astro/ground_track.h"
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::constellation {
+namespace {
+
+TEST(SunSync, PublishedInclinations)
+{
+    // Textbook sun-synchronous inclinations (circular orbits).
+    const auto i560 = sun_synchronous_inclination_rad(560.0e3);
+    const auto i800 = sun_synchronous_inclination_rad(800.0e3);
+    ASSERT_TRUE(i560 && i800);
+    EXPECT_NEAR(rad2deg(*i560), 97.6, 0.15);
+    EXPECT_NEAR(rad2deg(*i800), 98.6, 0.15);
+}
+
+TEST(SunSync, InclinationGrowsWithAltitude)
+{
+    double prev = 0.0;
+    for (double h = 300.0e3; h <= 2000.0e3; h += 100.0e3) {
+        const auto i = sun_synchronous_inclination_rad(h);
+        ASSERT_TRUE(i.has_value());
+        EXPECT_GT(rad2deg(*i), 90.0);
+        EXPECT_GT(*i, prev);
+        prev = *i;
+    }
+}
+
+TEST(SunSync, NoSolutionAtVeryHighAltitude)
+{
+    EXPECT_FALSE(sun_synchronous_inclination_rad(8000.0e3).has_value());
+    EXPECT_THROW(sun_synchronous_inclination_rad(-5.0), contract_violation);
+}
+
+TEST(SunSync, LtanRaanRoundTrip)
+{
+    const astro::instant t = astro::instant::from_calendar(2016, 3, 21, 8);
+    for (double ltan : {0.0, 6.0, 10.5, 12.0, 13.5, 18.0, 22.0}) {
+        const double raan = raan_for_ltan_rad(ltan, t);
+        EXPECT_NEAR(hour_difference(ltan_of_raan_h(raan, t), ltan), 0.0, 1e-9);
+    }
+}
+
+TEST(SunSync, NoonLtanFacesTheMeanSun)
+{
+    const astro::instant t = astro::instant::from_calendar(2019, 7, 1);
+    const double raan = raan_for_ltan_rad(12.0, t);
+    EXPECT_NEAR(wrap_pi(raan - astro::mean_sun_right_ascension_rad(t)), 0.0, 1e-12);
+}
+
+TEST(SunSync, PlaneGeneration)
+{
+    ss_plane plane;
+    plane.altitude_m = 560.0e3;
+    plane.ltan_h = 13.5;
+    plane.n_sats = 8;
+    const auto epoch = astro::instant::j2000();
+    const auto sats = make_ss_plane(plane, epoch);
+    ASSERT_EQ(sats.size(), 8u);
+    const double expected_inclination = *sun_synchronous_inclination_rad(560.0e3);
+    for (int s = 0; s < 8; ++s) {
+        EXPECT_DOUBLE_EQ(sats[static_cast<std::size_t>(s)].elements.inclination_rad,
+                         expected_inclination);
+        EXPECT_NEAR(sats[static_cast<std::size_t>(s)].elements.mean_anomaly_rad,
+                    wrap_two_pi(s * two_pi / 8.0), 1e-12);
+        EXPECT_EQ(sats[static_cast<std::size_t>(s)].slot, s);
+    }
+}
+
+TEST(SunSync, ConstellationConcatenatesPlanes)
+{
+    std::vector<ss_plane> planes;
+    planes.push_back({560.0e3, 10.0, 3, 0.0});
+    planes.push_back({560.0e3, 14.0, 5, 0.1});
+    const auto sats = make_ss_constellation(planes, astro::instant::j2000());
+    ASSERT_EQ(sats.size(), 8u);
+    EXPECT_EQ(sats[0].plane, 0);
+    EXPECT_EQ(sats[2].plane, 0);
+    EXPECT_EQ(sats[3].plane, 1);
+    EXPECT_EQ(sats[7].plane, 1);
+}
+
+TEST(SunSync, LtanStaysFixedOverMonths)
+{
+    // The defining property of the SS-plane primitive: the node's local
+    // solar time is invariant as the seasons advance.
+    ss_plane plane;
+    plane.altitude_m = 560.0e3;
+    plane.ltan_h = 10.5;
+    plane.n_sats = 1;
+    const auto epoch = astro::instant::j2000();
+    const auto sats = make_ss_plane(plane, epoch);
+    const astro::j2_propagator orbit(sats[0].elements, epoch);
+
+    for (double days : {30.0, 90.0, 182.0, 365.0}) {
+        const astro::instant t = epoch.plus_days(days);
+        const double ltan = ltan_of_raan_h(orbit.elements_at(t).raan_rad, t);
+        EXPECT_NEAR(hour_difference(ltan, 10.5), 0.0, 0.12) << "after " << days << " d";
+    }
+}
+
+TEST(SunSync, NonSunSyncLtanDrifts)
+{
+    // Contrast: a 65-degree orbit's LTAN drifts by hours over half a year.
+    const auto epoch = astro::instant::j2000();
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(65.0), raan_for_ltan_rad(10.5, epoch), 0.0),
+        epoch);
+    const astro::instant t = epoch.plus_days(182.0);
+    const double ltan = ltan_of_raan_h(orbit.elements_at(t).raan_rad, t);
+    EXPECT_GT(std::abs(hour_difference(ltan, 10.5)), 2.0);
+}
+
+TEST(SunSync, Validation)
+{
+    ss_plane plane;
+    plane.n_sats = 0;
+    EXPECT_THROW(make_ss_plane(plane, astro::instant::j2000()), contract_violation);
+    plane.n_sats = 1;
+    plane.altitude_m = 9000.0e3; // no SS inclination exists
+    EXPECT_THROW(make_ss_plane(plane, astro::instant::j2000()), contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::constellation

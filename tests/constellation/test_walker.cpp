@@ -1,0 +1,115 @@
+#include "constellation/walker.h"
+
+#include <gtest/gtest.h>
+
+#include "astro/constants.h"
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::constellation {
+namespace {
+
+TEST(Walker, CountAndIndexing)
+{
+    walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 6;
+    p.sats_per_plane = 4;
+    p.phasing_f = 1;
+    const auto sats = make_walker_delta(p);
+    ASSERT_EQ(sats.size(), 24u);
+    EXPECT_EQ(p.total(), 24);
+    for (int plane = 0; plane < 6; ++plane) {
+        for (int slot = 0; slot < 4; ++slot) {
+            const auto& s = sats[static_cast<std::size_t>(plane * 4 + slot)];
+            EXPECT_EQ(s.plane, plane);
+            EXPECT_EQ(s.slot, slot);
+        }
+    }
+}
+
+TEST(Walker, RaanEvenlySpacedOver360)
+{
+    walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 8;
+    p.sats_per_plane = 2;
+    const auto sats = make_walker_delta(p);
+    for (int plane = 0; plane < 8; ++plane) {
+        const double raan = sats[static_cast<std::size_t>(plane * 2)].elements.raan_rad;
+        EXPECT_NEAR(raan, wrap_two_pi(plane * two_pi / 8.0), 1e-12);
+    }
+}
+
+TEST(Walker, InPlaneSpacing)
+{
+    walker_parameters p;
+    p.inclination_rad = deg2rad(65.0);
+    p.n_planes = 1;
+    p.sats_per_plane = 5;
+    const auto sats = make_walker_delta(p);
+    for (int slot = 0; slot < 5; ++slot) {
+        EXPECT_NEAR(sats[static_cast<std::size_t>(slot)].elements.mean_anomaly_rad,
+                    wrap_two_pi(slot * two_pi / 5.0), 1e-12);
+    }
+}
+
+TEST(Walker, PhasingOffsetBetweenPlanes)
+{
+    walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 4;
+    p.sats_per_plane = 3;
+    p.phasing_f = 2;
+    const auto sats = make_walker_delta(p);
+    // Slot 0 of adjacent planes differs by F * 360 / T.
+    const double expected = 2.0 * two_pi / 12.0;
+    const double d = wrap_two_pi(sats[3].elements.mean_anomaly_rad -
+                                 sats[0].elements.mean_anomaly_rad);
+    EXPECT_NEAR(d, expected, 1e-12);
+}
+
+TEST(Walker, AllCircularAtRequestedAltitude)
+{
+    walker_parameters p;
+    p.altitude_m = 700.0e3;
+    p.inclination_rad = deg2rad(60.0);
+    p.n_planes = 3;
+    p.sats_per_plane = 3;
+    for (const auto& s : make_walker_delta(p)) {
+        EXPECT_DOUBLE_EQ(s.elements.eccentricity, 0.0);
+        EXPECT_NEAR(s.elements.semi_major_axis_m,
+                    astro::earth_mean_radius_m + 700.0e3, 1e-6);
+        EXPECT_DOUBLE_EQ(s.elements.inclination_rad, deg2rad(60.0));
+    }
+}
+
+TEST(Walker, OffsetsApply)
+{
+    walker_parameters p;
+    p.inclination_rad = 1.0;
+    p.n_planes = 2;
+    p.sats_per_plane = 1;
+    p.raan0_rad = 0.5;
+    p.anomaly0_rad = 0.25;
+    const auto sats = make_walker_delta(p);
+    EXPECT_NEAR(sats[0].elements.raan_rad, 0.5, 1e-12);
+    EXPECT_NEAR(sats[0].elements.mean_anomaly_rad, 0.25, 1e-12);
+}
+
+TEST(Walker, Validation)
+{
+    walker_parameters p;
+    p.n_planes = 0;
+    EXPECT_THROW(make_walker_delta(p), contract_violation);
+    p.n_planes = 2;
+    p.sats_per_plane = 0;
+    EXPECT_THROW(make_walker_delta(p), contract_violation);
+    p.sats_per_plane = 1;
+    p.phasing_f = 2;
+    EXPECT_THROW(make_walker_delta(p), contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::constellation

@@ -1,0 +1,71 @@
+#include "core/design_problem.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::core {
+namespace {
+
+const demand::population_model& shared_population()
+{
+    static const demand::population_model model;
+    return model;
+}
+
+const demand::demand_model& coarse_model()
+{
+    static const demand::demand_model model = [] {
+        demand::demand_options opts;
+        opts.lat_cell_deg = 2.0;
+        opts.tod_cell_h = 1.0;
+        return demand::demand_model(shared_population(), opts);
+    }();
+    return model;
+}
+
+TEST(DesignProblem, PeakEqualsBandwidthMultiplier)
+{
+    const auto p = make_design_problem(coarse_model(), 25.0);
+    EXPECT_NEAR(p.demand.field().max_value(), 25.0, 1e-9);
+    EXPECT_DOUBLE_EQ(p.bandwidth_multiplier, 25.0);
+}
+
+TEST(DesignProblem, ScalesLinearly)
+{
+    const auto p1 = make_design_problem(coarse_model(), 1.0);
+    const auto p10 = make_design_problem(coarse_model(), 10.0);
+    EXPECT_NEAR(total_demand(p10.demand), 10.0 * total_demand(p1.demand), 1e-6);
+}
+
+TEST(DesignProblem, RejectsNonPositiveMultiplier)
+{
+    EXPECT_THROW(make_design_problem(coarse_model(), 0.0), contract_violation);
+    EXPECT_THROW(make_design_problem(coarse_model(), -2.0), contract_violation);
+}
+
+TEST(DesignProblem, PeakByLatitudeConsistent)
+{
+    const auto p = make_design_problem(coarse_model(), 10.0);
+    const auto peaks = peak_demand_by_latitude(p.demand);
+    ASSERT_EQ(peaks.size(), p.demand.n_lat());
+    EXPECT_NEAR(*std::max_element(peaks.begin(), peaks.end()), 10.0, 1e-9);
+    // Every row peak bounds every cell of the row.
+    for (std::size_t r = 0; r < p.demand.n_lat(); ++r) {
+        for (std::size_t c = 0; c < p.demand.n_tod(); ++c) {
+            EXPECT_LE(p.demand.field()(r, c), peaks[r] + 1e-12);
+        }
+    }
+}
+
+TEST(DesignProblem, DefaultsArePaperParameters)
+{
+    const auto p = make_design_problem(coarse_model(), 1.0);
+    EXPECT_DOUBLE_EQ(p.altitude_m, 560.0e3);
+    EXPECT_NEAR(rad2deg(p.min_elevation_rad), 30.0, 1e-9);
+}
+
+} // namespace
+} // namespace ssplane::core

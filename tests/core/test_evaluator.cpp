@@ -1,0 +1,124 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/angles.h"
+
+namespace ssplane::core {
+namespace {
+
+const demand::population_model& shared_population()
+{
+    static const demand::population_model model;
+    return model;
+}
+
+const demand::demand_model& coarse_model()
+{
+    static const demand::demand_model model = [] {
+        demand::demand_options opts;
+        opts.lat_cell_deg = 2.0;
+        opts.tod_cell_h = 1.0;
+        return demand::demand_model(shared_population(), opts);
+    }();
+    return model;
+}
+
+wd_baseline_options fast_wd_options()
+{
+    wd_baseline_options o;
+    o.grid_spacing_deg = 8.0;
+    o.n_time_steps = 24;
+    return o;
+}
+
+radiation_eval_options fast_rad_options()
+{
+    radiation_eval_options o;
+    o.step_s = 60.0;
+    o.max_sampled_planes = 8;
+    return o;
+}
+
+TEST(Evaluator, CompareDesignsProducesBothConstellations)
+{
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 4.0, designer);
+    EXPECT_DOUBLE_EQ(cmp.bandwidth_multiplier, 4.0);
+    EXPECT_TRUE(cmp.ss.satisfied);
+    EXPECT_TRUE(cmp.wd.satisfied);
+    EXPECT_GT(cmp.ss.total_satellites, 0);
+    EXPECT_GT(cmp.wd.total_satellites, 0);
+}
+
+TEST(Evaluator, SsNeedsFewerSatellitesThanWd)
+{
+    // The paper's headline direction (Fig. 9): SS < WD.
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 4.0, designer);
+    EXPECT_LT(cmp.ss.total_satellites, cmp.wd.total_satellites);
+}
+
+TEST(Evaluator, SsRadiationSummary)
+{
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 3.0, designer);
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+    const auto summary = ss_constellation_radiation(cmp.ss, env, day, fast_rad_options());
+    EXPECT_GT(summary.median_electron_fluence, 1.0e9);
+    EXPECT_LT(summary.median_electron_fluence, 2.0e10);
+    EXPECT_GT(summary.median_proton_fluence, 1.0e6);
+    EXPECT_GT(summary.sampled_orbits, 0);
+}
+
+TEST(Evaluator, WdRadiationSummary)
+{
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 3.0, designer);
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+    const auto summary = wd_constellation_radiation(cmp.wd, env, day, fast_rad_options());
+    EXPECT_GT(summary.median_electron_fluence, 1.0e9);
+    EXPECT_GT(summary.sampled_orbits, 0);
+}
+
+TEST(Evaluator, SsMedianElectronDoseBelowWd)
+{
+    // The paper's second headline (Fig. 10a / abstract ~23%): the SS design
+    // accumulates less electron dose than the population-targeted WD mix.
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 6.0, designer);
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+    const auto ss = ss_constellation_radiation(cmp.ss, env, day, fast_rad_options());
+    const auto wd = wd_constellation_radiation(cmp.wd, env, day, fast_rad_options());
+    EXPECT_LT(ss.median_electron_fluence, wd.median_electron_fluence);
+    EXPECT_LT(ss.median_proton_fluence, wd.median_proton_fluence);
+}
+
+TEST(Evaluator, EmptyDesignsYieldZeroSummaries)
+{
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::j2000();
+    const auto ss = ss_constellation_radiation(ss_design_result{}, env, day);
+    EXPECT_EQ(ss.median_electron_fluence, 0.0);
+    EXPECT_EQ(ss.sampled_orbits, 0);
+    const auto wd = wd_constellation_radiation(wd_baseline_result{}, env, day);
+    EXPECT_EQ(wd.median_electron_fluence, 0.0);
+}
+
+TEST(Evaluator, SamplingCapRespected)
+{
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 6.0, designer);
+    radiation_eval_options opts = fast_rad_options();
+    opts.max_sampled_planes = 3;
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+    const auto ss = ss_constellation_radiation(cmp.ss, env, day, opts);
+    EXPECT_LE(ss.sampled_orbits, 3 + 1);
+}
+
+} // namespace
+} // namespace ssplane::core

@@ -1,0 +1,141 @@
+#include "core/plane_trace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::core {
+namespace {
+
+constexpr double k_ss_inclination = deg2rad(97.604); // 560 km
+
+TEST(PlaneTrace, SunFrameUnitBasics)
+{
+    // Noon on the equator is the +x direction; midnight is -x.
+    EXPECT_NEAR((sun_frame_unit(0.0, 12.0) - vec3{1, 0, 0}).norm(), 0.0, 1e-12);
+    EXPECT_NEAR((sun_frame_unit(0.0, 0.0) - vec3{-1, 0, 0}).norm(), 0.0, 1e-12);
+    EXPECT_NEAR((sun_frame_unit(90.0, 5.0) - vec3{0, 0, 1}).norm(), 0.0, 1e-9);
+    for (double lat : {-60.0, 0.0, 45.0}) {
+        for (double tod : {0.0, 6.5, 13.0, 23.9}) {
+            EXPECT_NEAR(sun_frame_unit(lat, tod).norm(), 1.0, 1e-12);
+        }
+    }
+}
+
+TEST(PlaneTrace, NormalIsPerpendicularToTrace)
+{
+    const double ltan = 10.0;
+    const vec3 n = plane_normal(k_ss_inclination, ltan);
+    EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+    for (const auto& p : ss_plane_trace(k_ss_inclination, ltan, 64)) {
+        EXPECT_NEAR(n.dot(sun_frame_unit(p.latitude_deg, p.tod_h)), 0.0, 1e-9);
+    }
+}
+
+TEST(PlaneTrace, TraceStartsAtNodeWithLtan)
+{
+    const auto trace = ss_plane_trace(k_ss_inclination, 14.5, 32);
+    EXPECT_NEAR(trace[0].latitude_deg, 0.0, 1e-9);
+    EXPECT_NEAR(hour_difference(trace[0].tod_h, 14.5), 0.0, 1e-9);
+}
+
+TEST(PlaneTrace, MaxLatitudeIsSupplementOfInclination)
+{
+    const auto trace = ss_plane_trace(k_ss_inclination, 12.0, 720);
+    double max_lat = 0.0;
+    for (const auto& p : trace) max_lat = std::max(max_lat, std::abs(p.latitude_deg));
+    EXPECT_NEAR(max_lat, 180.0 - 97.604, 0.05);
+}
+
+TEST(PlaneTrace, ValidationOfSampleCount)
+{
+    EXPECT_THROW(ss_plane_trace(k_ss_inclination, 12.0, 3), contract_violation);
+}
+
+class LtanThroughTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LtanThroughTest, SolutionsPassThroughThePoint)
+{
+    const auto [lat, tod] = GetParam();
+    const auto sol = ltan_through(k_ss_inclination, lat, tod);
+    ASSERT_TRUE(sol.ascending.has_value());
+    ASSERT_TRUE(sol.descending.has_value());
+    const vec3 p = sun_frame_unit(lat, tod);
+    EXPECT_NEAR(plane_normal(k_ss_inclination, *sol.ascending).dot(p), 0.0, 1e-9);
+    EXPECT_NEAR(plane_normal(k_ss_inclination, *sol.descending).dot(p), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSeedPoints, LtanThroughTest,
+    ::testing::Values(std::make_pair(23.75, 14.0), std::make_pair(0.0, 3.0),
+                      std::make_pair(-33.0, 20.5), std::make_pair(51.0, 9.25),
+                      std::make_pair(75.0, 0.5), std::make_pair(-60.0, 12.0)));
+
+TEST(LtanThrough, EquatorSolutionsAreNodeAndAntinode)
+{
+    const auto sol = ltan_through(k_ss_inclination, 0.0, 14.0);
+    ASSERT_TRUE(sol.ascending && sol.descending);
+    EXPECT_NEAR(hour_difference(*sol.ascending, 14.0), 0.0, 1e-9);
+    EXPECT_NEAR(hour_difference(*sol.descending, 2.0), 0.0, 1e-9);
+}
+
+TEST(LtanThrough, UnreachableLatitude)
+{
+    // |lat| beyond 180 - i is never crossed.
+    const auto sol = ltan_through(k_ss_inclination, 85.0, 12.0);
+    EXPECT_FALSE(sol.ascending.has_value());
+    EXPECT_FALSE(sol.descending.has_value());
+}
+
+TEST(CoverageMask, ContainsSeedAndRespectsWidth)
+{
+    geo::lat_tod_grid grid(2.0, 0.5);
+    const double street = deg2rad(7.25);
+    const auto sol = ltan_through(k_ss_inclination, 23.0, 14.25);
+    ASSERT_TRUE(sol.ascending.has_value());
+    const auto mask = plane_coverage_mask(grid, k_ss_inclination, *sol.ascending, street);
+
+    const std::size_t seed_index =
+        grid.row_of_latitude(23.0) * grid.n_tod() + grid.col_of_tod(14.25);
+    EXPECT_EQ(mask[seed_index], 1);
+
+    // Mask cells are exactly those within the street of the great circle.
+    const vec3 n = plane_normal(k_ss_inclination, *sol.ascending);
+    for (std::size_t r = 0; r < grid.n_lat(); r += 5) {
+        for (std::size_t c = 0; c < grid.n_tod(); c += 3) {
+            const vec3 p = sun_frame_unit(grid.latitude_center_deg(r), grid.tod_center_h(c));
+            const bool inside = std::abs(n.dot(p)) <= std::sin(street);
+            EXPECT_EQ(mask[r * grid.n_tod() + c] == 1, inside);
+        }
+    }
+}
+
+TEST(CoverageMask, WiderStreetCoversMore)
+{
+    geo::lat_tod_grid grid(2.0, 0.5);
+    const auto count = [&](double street) {
+        const auto mask = plane_coverage_mask(grid, k_ss_inclination, 13.0, street);
+        std::size_t covered = 0;
+        for (auto m : mask) covered += m;
+        return covered;
+    };
+    EXPECT_GT(count(deg2rad(8.0)), count(deg2rad(4.0)));
+    EXPECT_GT(count(deg2rad(4.0)), count(deg2rad(1.0)));
+    EXPECT_GT(count(deg2rad(1.0)), 0u);
+}
+
+TEST(CoverageMask, PolarCapsAlwaysUncovered)
+{
+    geo::lat_tod_grid grid(0.5, 1.0);
+    const auto mask = plane_coverage_mask(grid, k_ss_inclination, 12.0, deg2rad(7.25));
+    // Latitudes beyond 82.4 + 7.25 = 89.65 are unreachable.
+    const std::size_t top_row = grid.row_of_latitude(89.9);
+    for (std::size_t c = 0; c < grid.n_tod(); ++c)
+        EXPECT_EQ(mask[top_row * grid.n_tod() + c], 0);
+}
+
+} // namespace
+} // namespace ssplane::core

@@ -1,0 +1,146 @@
+#include "demand/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace ssplane::demand {
+namespace {
+
+TEST(Diurnal, MedianNormalization)
+{
+    // The canonical shape is normalized so its median over the day is 1.
+    std::vector<double> samples;
+    for (int i = 0; i < 24 * 60; ++i)
+        samples.push_back(canonical_diurnal_shape(static_cast<double>(i) / 60.0));
+    EXPECT_NEAR(median(samples), 1.0, 1e-6);
+}
+
+TEST(Diurnal, TroughBeforeDawn)
+{
+    // CESNET-like: the minimum sits around 03-06 local and is ~half the median.
+    double min_value = 1e9;
+    double min_hour = -1.0;
+    for (int i = 0; i < 24 * 60; ++i) {
+        const double h = static_cast<double>(i) / 60.0;
+        const double v = canonical_diurnal_shape(h);
+        if (v < min_value) {
+            min_value = v;
+            min_hour = h;
+        }
+    }
+    EXPECT_GT(min_hour, 2.0);
+    EXPECT_LT(min_hour, 7.0);
+    EXPECT_GT(min_value, 0.35);
+    EXPECT_LT(min_value, 0.65);
+}
+
+TEST(Diurnal, PeakInWakingHours)
+{
+    double max_value = 0.0;
+    double max_hour = -1.0;
+    for (int i = 0; i < 24 * 60; ++i) {
+        const double h = static_cast<double>(i) / 60.0;
+        const double v = canonical_diurnal_shape(h);
+        if (v > max_value) {
+            max_value = v;
+            max_hour = h;
+        }
+    }
+    EXPECT_GT(max_hour, 9.0);
+    EXPECT_LT(max_hour, 23.0);
+    EXPECT_NEAR(max_value, canonical_diurnal_peak(), 1e-9);
+    EXPECT_GT(canonical_diurnal_peak(), 1.2);
+    EXPECT_LT(canonical_diurnal_peak(), 2.2);
+}
+
+TEST(Diurnal, ShapeIsPositiveAndPeriodic)
+{
+    for (double h = -24.0; h <= 48.0; h += 0.37) {
+        EXPECT_GT(canonical_diurnal_shape(h), 0.0);
+        EXPECT_NEAR(canonical_diurnal_shape(h), canonical_diurnal_shape(h + 24.0), 1e-9);
+    }
+}
+
+class EnsembleTest : public ::testing::Test {
+protected:
+    static const tod_statistics& stats()
+    {
+        static const tod_statistics s = [] {
+            site_ensemble_options opts;
+            opts.n_sites = 60; // reduced for test speed; bench uses 283
+            opts.n_days = 120;
+            return site_ensemble(opts, 7).compute_tod_statistics();
+        }();
+        return s;
+    }
+};
+
+TEST_F(EnsembleTest, MedianCurveTracksCanonicalShape)
+{
+    // The cross-site median by hour should correlate strongly with the
+    // canonical shape (sites are phase-jittered copies of it).
+    std::vector<double> shape;
+    std::vector<double> med;
+    for (int h = 0; h < 24; ++h) {
+        shape.push_back(canonical_diurnal_shape(h + 0.5));
+        med.push_back(stats().median_percent[h]);
+    }
+    const double ms = mean(shape);
+    const double mm = mean(med);
+    double num = 0.0;
+    double ds = 0.0;
+    double dm = 0.0;
+    for (int h = 0; h < 24; ++h) {
+        num += (shape[h] - ms) * (med[h] - mm);
+        ds += (shape[h] - ms) * (shape[h] - ms);
+        dm += (med[h] - mm) * (med[h] - mm);
+    }
+    EXPECT_GT(num / std::sqrt(ds * dm), 0.85);
+}
+
+TEST_F(EnsembleTest, MedianRangeMatchesCesnetScale)
+{
+    // Paper Fig. 4: median-normalized medians range ~50%..200%.
+    const auto& med = stats().median_percent;
+    EXPECT_GT(*std::min_element(med.begin(), med.end()), 25.0);
+    EXPECT_LT(*std::min_element(med.begin(), med.end()), 80.0);
+    EXPECT_GT(*std::max_element(med.begin(), med.end()), 110.0);
+    EXPECT_LT(*std::max_element(med.begin(), med.end()), 300.0);
+}
+
+TEST_F(EnsembleTest, P95DominatesMedianWithHeavyTail)
+{
+    for (int h = 0; h < 24; ++h) {
+        EXPECT_GT(stats().p95_percent[h], stats().median_percent[h]) << "hour " << h;
+    }
+    // Heavy-tailed bursts push p95 well above the median somewhere.
+    const double max_p95 =
+        *std::max_element(stats().p95_percent.begin(), stats().p95_percent.end());
+    EXPECT_GT(max_p95, 300.0);
+    EXPECT_LT(max_p95, 20000.0);
+}
+
+TEST(Ensemble, DeterministicInSeed)
+{
+    site_ensemble_options opts;
+    opts.n_sites = 10;
+    opts.n_days = 20;
+    const auto a = site_ensemble(opts, 123).compute_tod_statistics();
+    const auto b = site_ensemble(opts, 123).compute_tod_statistics();
+    const auto c = site_ensemble(opts, 124).compute_tod_statistics();
+    for (int h = 0; h < 24; ++h) {
+        EXPECT_DOUBLE_EQ(a.median_percent[h], b.median_percent[h]);
+    }
+    bool any_different = false;
+    for (int h = 0; h < 24; ++h)
+        any_different |= (a.median_percent[h] != c.median_percent[h]);
+    EXPECT_TRUE(any_different);
+}
+
+} // namespace
+} // namespace ssplane::demand

@@ -1,0 +1,103 @@
+#include "lsn/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::lsn {
+namespace {
+
+/// Hand-built snapshot: a small weighted graph.
+network_snapshot line_graph()
+{
+    //  0 --1ms-- 1 --2ms-- 2 --1ms-- 3     and a slow shortcut 0 --10ms-- 3
+    network_snapshot snap;
+    snap.n_satellites = 4;
+    snap.n_ground = 0;
+    snap.positions_ecef_m.resize(4);
+    snap.adjacency.resize(4);
+    const auto add = [&](int a, int b, double ms) {
+        snap.adjacency[static_cast<std::size_t>(a)].push_back({b, ms / 1000.0});
+        snap.adjacency[static_cast<std::size_t>(b)].push_back({a, ms / 1000.0});
+    };
+    add(0, 1, 1.0);
+    add(1, 2, 2.0);
+    add(2, 3, 1.0);
+    add(0, 3, 10.0);
+    return snap;
+}
+
+TEST(Routing, FindsShortestPath)
+{
+    const auto snap = line_graph();
+    const auto route = shortest_route(snap, 0, 3);
+    ASSERT_TRUE(route.reachable);
+    EXPECT_NEAR(route.latency_s, 0.004, 1e-12);
+    EXPECT_EQ(route.hops, 3);
+    ASSERT_EQ(route.path.size(), 4u);
+    EXPECT_EQ(route.path.front(), 0);
+    EXPECT_EQ(route.path.back(), 3);
+}
+
+TEST(Routing, SourceEqualsDestination)
+{
+    const auto snap = line_graph();
+    const auto route = shortest_route(snap, 2, 2);
+    ASSERT_TRUE(route.reachable);
+    EXPECT_EQ(route.latency_s, 0.0);
+    EXPECT_EQ(route.hops, 0);
+}
+
+TEST(Routing, UnreachableNode)
+{
+    network_snapshot snap;
+    snap.n_satellites = 3;
+    snap.positions_ecef_m.resize(3);
+    snap.adjacency.resize(3);
+    snap.adjacency[0].push_back({1, 0.001});
+    snap.adjacency[1].push_back({0, 0.001});
+    const auto route = shortest_route(snap, 0, 2);
+    EXPECT_FALSE(route.reachable);
+    EXPECT_TRUE(route.path.empty());
+}
+
+TEST(Routing, PathEdgesExist)
+{
+    const auto snap = line_graph();
+    const auto route = shortest_route(snap, 0, 2);
+    ASSERT_TRUE(route.reachable);
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+        bool edge_found = false;
+        for (const auto& e : snap.adjacency[static_cast<std::size_t>(route.path[i - 1])])
+            edge_found |= (e.to == route.path[i]);
+        EXPECT_TRUE(edge_found);
+    }
+}
+
+TEST(Routing, InvalidNodesRejected)
+{
+    const auto snap = line_graph();
+    EXPECT_THROW(shortest_route(snap, -1, 2), contract_violation);
+    EXPECT_THROW(shortest_route(snap, 0, 4), contract_violation);
+}
+
+TEST(Routing, GroundRouteUsesGroundIndices)
+{
+    network_snapshot snap;
+    snap.n_satellites = 1;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(3);
+    snap.adjacency.resize(3);
+    // ground0 <-> sat0 <-> ground1
+    snap.adjacency[1].push_back({0, 0.002});
+    snap.adjacency[0].push_back({1, 0.002});
+    snap.adjacency[0].push_back({2, 0.003});
+    snap.adjacency[2].push_back({0, 0.003});
+    const auto route = ground_route(snap, 0, 1);
+    ASSERT_TRUE(route.reachable);
+    EXPECT_NEAR(route.latency_s, 0.005, 1e-12);
+    EXPECT_EQ(route.hops, 2);
+}
+
+} // namespace
+} // namespace ssplane::lsn

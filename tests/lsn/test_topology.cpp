@@ -1,0 +1,138 @@
+#include "lsn/topology.h"
+
+#include "astro/ground_track.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "astro/constants.h"
+#include "util/angles.h"
+
+namespace ssplane::lsn {
+namespace {
+
+TEST(Topology, WalkerGridLinkCount)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 5;
+    p.sats_per_plane = 6;
+    const auto topo = build_walker_grid_topology(p);
+    EXPECT_EQ(topo.satellites.size(), 30u);
+    // +Grid: each satellite has one intra-plane and one cross-plane link.
+    EXPECT_EQ(topo.links.size(), 60u);
+    for (const auto& link : topo.links) {
+        EXPECT_GE(link.a, 0);
+        EXPECT_LT(link.b, 30);
+        EXPECT_NE(link.a, link.b);
+    }
+}
+
+TEST(Topology, SinglePlaneHasRingOnly)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(65.0);
+    p.n_planes = 1;
+    p.sats_per_plane = 8;
+    const auto topo = build_walker_grid_topology(p);
+    EXPECT_EQ(topo.links.size(), 8u); // ring only
+}
+
+TEST(Topology, SsTopologyRingsAndCrossLinks)
+{
+    std::vector<constellation::ss_plane> planes;
+    planes.push_back({560.0e3, 10.0, 4, 0.0});
+    planes.push_back({560.0e3, 14.0, 4, 0.0});
+    planes.push_back({560.0e3, 12.0, 4, 0.0});
+    const auto topo = build_ss_topology(planes, astro::instant::j2000());
+    EXPECT_EQ(topo.satellites.size(), 12u);
+    // 3 rings of 4 + 2 adjacent-LTAN bridges of 4.
+    EXPECT_EQ(topo.links.size(), 12u + 8u);
+}
+
+TEST(Topology, DefaultGroundStationsSpreadOverLatitudes)
+{
+    const auto stations = default_ground_stations();
+    EXPECT_GE(stations.size(), 10u);
+    double min_lat = 90.0;
+    double max_lat = -90.0;
+    for (const auto& gs : stations) {
+        min_lat = std::min(min_lat, gs.latitude_deg);
+        max_lat = std::max(max_lat, gs.latitude_deg);
+    }
+    EXPECT_LT(min_lat, -20.0);
+    EXPECT_GT(max_lat, 50.0);
+}
+
+TEST(Topology, SnapshotStructure)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 4;
+    p.sats_per_plane = 4;
+    const auto topo = build_walker_grid_topology(p);
+    const auto stations = default_ground_stations();
+    const auto epoch = astro::instant::j2000();
+    const auto snap = snapshot_at(topo, stations, epoch, epoch, deg2rad(30.0));
+
+    EXPECT_EQ(snap.n_satellites, 16);
+    EXPECT_EQ(snap.n_ground, static_cast<int>(stations.size()));
+    EXPECT_EQ(snap.positions_ecef_m.size(), 16u + stations.size());
+    EXPECT_EQ(snap.adjacency.size(), snap.positions_ecef_m.size());
+    EXPECT_EQ(snap.ground_node(0), 16);
+}
+
+TEST(Topology, GroundLinkAppearsWhenSatelliteOverhead)
+{
+    // One satellite placed over the equator/prime meridian at epoch; a
+    // ground station at the subsatellite point must link to it.
+    constellation::walker_parameters p;
+    p.altitude_m = 560.0e3;
+    p.inclination_rad = deg2rad(65.0);
+    p.n_planes = 1;
+    p.sats_per_plane = 1;
+    lsn_topology topo;
+    topo.satellites = constellation::make_walker_delta(p);
+
+    const auto epoch = astro::instant::j2000();
+    const astro::j2_propagator orbit(topo.satellites[0].elements, epoch);
+    const auto sub = astro::subsatellite_point(orbit.state_at(epoch).position_m, epoch);
+
+    std::vector<ground_station> stations;
+    stations.push_back({"under", sub.latitude_deg, sub.longitude_deg});
+    stations.push_back({"antipode", -sub.latitude_deg,
+                        wrap_deg_180(sub.longitude_deg + 180.0)});
+    const auto snap = snapshot_at(topo, stations, epoch, epoch, deg2rad(30.0));
+    EXPECT_EQ(snap.adjacency[static_cast<std::size_t>(snap.ground_node(0))].size(), 1u);
+    EXPECT_TRUE(snap.adjacency[static_cast<std::size_t>(snap.ground_node(1))].empty());
+
+    // Latency of the overhead link is roughly altitude / c.
+    const auto& edge = snap.adjacency[static_cast<std::size_t>(snap.ground_node(0))][0];
+    EXPECT_NEAR(edge.latency_s, 560.0e3 / astro::speed_of_light_m_s, 2e-4);
+}
+
+TEST(Topology, IslRangeLimitDropsLongLinks)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 2;
+    p.sats_per_plane = 2; // antipodal in-plane satellites -> huge distance
+    const auto topo = build_walker_grid_topology(p);
+    const auto epoch = astro::instant::j2000();
+    const auto snap_all =
+        snapshot_at(topo, {}, epoch, epoch, deg2rad(30.0), 5.0e7);
+    const auto snap_short =
+        snapshot_at(topo, {}, epoch, epoch, deg2rad(30.0), 1.0e6);
+    std::size_t edges_all = 0;
+    std::size_t edges_short = 0;
+    for (const auto& adj : snap_all.adjacency) edges_all += adj.size();
+    for (const auto& adj : snap_short.adjacency) edges_short += adj.size();
+    EXPECT_GT(edges_all, edges_short);
+}
+
+} // namespace
+} // namespace ssplane::lsn

@@ -1,0 +1,130 @@
+#include "radiation/fluence.h"
+
+#include <gtest/gtest.h>
+
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::radiation {
+namespace {
+
+const radiation_environment& shared_env()
+{
+    static const radiation_environment env;
+    return env;
+}
+
+const astro::instant k_day = astro::instant::from_calendar(2014, 3, 15);
+
+TEST(Fluence, PositiveForLeoOrbits)
+{
+    const auto f = daily_fluence(shared_env(), 560.0e3, deg2rad(65.0), k_day, 0.0, 60.0);
+    EXPECT_GT(f.electrons_cm2_mev, 0.0);
+    EXPECT_GT(f.protons_cm2_mev, 0.0);
+}
+
+TEST(Fluence, ScalesWithDuration)
+{
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0), k_day);
+    const auto half = accumulate_fluence(shared_env(), orbit, k_day, 43200.0, 30.0);
+    const auto full = accumulate_fluence(shared_env(), orbit, k_day, 86400.0, 30.0);
+    // Two half-days are close to a full day (orbit samples differ slightly).
+    EXPECT_NEAR(full.electrons_cm2_mev / (2.0 * half.electrons_cm2_mev), 1.0, 0.25);
+    EXPECT_GT(full.electrons_cm2_mev, half.electrons_cm2_mev);
+}
+
+TEST(Fluence, CalibratedInclinationProfile)
+{
+    // The paper-calibrated shape at 560 km (Fig. 7 / Fig. 10):
+    //   electrons: SAA-heavy low inclinations and outer-belt peak ~65 deg
+    //   both exceed the sun-synchronous 97.6 deg dose.
+    const auto e = [&](double inc) {
+        return daily_fluence(shared_env(), 560.0e3, deg2rad(inc), k_day, 0.0, 30.0)
+            .electrons_cm2_mev;
+    };
+    const double e30 = e(30.0);
+    const double e45 = e(45.0);
+    const double e65 = e(65.0);
+    const double e97 = e(97.604);
+
+    EXPECT_GT(e30, e97);          // low-inclination SAA dose beats SS
+    EXPECT_GT(e65, e45);          // outer-belt bump at moderate-high incl.
+    EXPECT_GT(e65, e97);          // 60-70 deg worst case vs SS
+    EXPECT_NEAR(e30 / e97, 1.30, 0.15); // ~23% reduction the other way
+    // Values live in the paper's plotted decade (4e9..1e10 #/cm^2/MeV).
+    for (double v : {e30, e45, e65, e97}) {
+        EXPECT_GT(v, 2.0e9);
+        EXPECT_LT(v, 2.0e10);
+    }
+}
+
+TEST(Fluence, ProtonInclinationProfile)
+{
+    const auto p = [&](double inc) {
+        return daily_fluence(shared_env(), 560.0e3, deg2rad(inc), k_day, 0.0, 30.0)
+            .protons_cm2_mev;
+    };
+    // Monotone decline from SAA-dwelling low inclinations to the SS orbit.
+    EXPECT_GT(p(30.0), p(55.0));
+    EXPECT_GT(p(55.0), p(97.604));
+    // Paper Fig. 10b scale: ~1e7 at high inclination.
+    EXPECT_GT(p(97.604), 3.0e6);
+    EXPECT_LT(p(97.604), 4.0e7);
+}
+
+TEST(Fluence, DeterministicForSameInputs)
+{
+    const auto a = daily_fluence(shared_env(), 560.0e3, deg2rad(53.0), k_day, 1.0, 60.0);
+    const auto b = daily_fluence(shared_env(), 560.0e3, deg2rad(53.0), k_day, 1.0, 60.0);
+    EXPECT_DOUBLE_EQ(a.electrons_cm2_mev, b.electrons_cm2_mev);
+    EXPECT_DOUBLE_EQ(a.protons_cm2_mev, b.protons_cm2_mev);
+}
+
+TEST(Fluence, InputValidation)
+{
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0), k_day);
+    EXPECT_THROW(accumulate_fluence(shared_env(), orbit, k_day, -1.0, 10.0),
+                 contract_violation);
+    EXPECT_THROW(accumulate_fluence(shared_env(), orbit, k_day, 100.0, 0.0),
+                 contract_violation);
+}
+
+TEST(FluxMap, DimensionsAndPositivity)
+{
+    const auto maps = flux_map_at_altitude(shared_env(), 560.0e3, 10.0, k_day);
+    EXPECT_EQ(maps.electrons.n_lat(), 18u);
+    EXPECT_EQ(maps.electrons.n_lon(), 36u);
+    EXPECT_GT(maps.electrons.field().max_value(), 0.0);
+    EXPECT_GT(maps.protons.field().max_value(), 0.0);
+}
+
+TEST(FluxMap, MaxOverDaysDominatesSingleDay)
+{
+    const auto single = flux_map_at_altitude(shared_env(), 560.0e3, 15.0, k_day);
+    const auto maxmap = max_electron_flux_map(shared_env(), 560.0e3, 15.0, 16, 99);
+    // Cell-wise max over sampled days is at least the single active-day map
+    // wherever the sampled days include a comparable activity... check the
+    // global maximum instead, which is robust.
+    EXPECT_GE(maxmap.field().max_value(), 0.5 * single.electrons.field().max_value());
+}
+
+TEST(FluxMap, MaxMapShowsSaaAndHorns)
+{
+    const auto maxmap = max_electron_flux_map(shared_env(), 560.0e3, 10.0, 16, 7);
+    // Northern horn band (55-70 N) is hot relative to the 10-25 N trough
+    // away from the SAA longitudes.
+    const double horn =
+        maxmap.field()(maxmap.row_of_latitude(62.0), maxmap.col_of_longitude(60.0));
+    const double trough =
+        maxmap.field()(maxmap.row_of_latitude(18.0), maxmap.col_of_longitude(60.0));
+    EXPECT_GT(horn, 2.0 * trough);
+    // SAA region is hot too.
+    const double saa =
+        maxmap.field()(maxmap.row_of_latitude(-28.0), maxmap.col_of_longitude(-45.0));
+    EXPECT_GT(saa, 2.0 * trough);
+}
+
+} // namespace
+} // namespace ssplane::radiation

@@ -1,0 +1,124 @@
+#include "radiation/magnetic_field.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "astro/constants.h"
+#include "astro/frames.h"
+#include "geo/geodesy.h"
+#include "util/angles.h"
+
+namespace ssplane::radiation {
+namespace {
+
+TEST(Dipole, CenteredFieldMagnitudes)
+{
+    // Untilted, centered dipole for clean geometry: B = B0 at the magnetic
+    // equator surface, 2*B0 at the poles.
+    const dipole_model dipole(3.0e-5, 90.0, 0.0, {0.0, 0.0, 0.0});
+    const double re = astro::earth_mean_radius_m;
+    EXPECT_NEAR(dipole.field_at({re, 0.0, 0.0}).norm(), 3.0e-5, 1e-9);
+    EXPECT_NEAR(dipole.field_at({0.0, 0.0, re}).norm(), 6.0e-5, 1e-9);
+    // Field falls as 1/r^3.
+    EXPECT_NEAR(dipole.field_at({2.0 * re, 0.0, 0.0}).norm(), 3.0e-5 / 8.0, 1e-9);
+}
+
+TEST(Dipole, LShellOfEquatorialPoints)
+{
+    const dipole_model dipole(3.0e-5, 90.0, 0.0, {0.0, 0.0, 0.0});
+    const double re = astro::earth_mean_radius_m;
+    // Magnetic-equator point at radius r has L = r/Re.
+    for (double factor : {1.0, 1.1, 2.0, 5.0}) {
+        const auto mc = dipole.coordinates_at({factor * re, 0.0, 0.0});
+        EXPECT_NEAR(mc.l_shell, factor, 1e-9);
+        EXPECT_NEAR(mc.magnetic_latitude_rad, 0.0, 1e-12);
+        EXPECT_NEAR(mc.b_over_b0(), 1.0, 1e-9);
+    }
+}
+
+TEST(Dipole, BOverB0GrowsAlongFieldLine)
+{
+    const dipole_model dipole(3.0e-5, 90.0, 0.0, {0.0, 0.0, 0.0});
+    const double re = astro::earth_mean_radius_m;
+    // Points on the L = 2 field line: r = L Re cos^2(maglat).
+    double prev = 1.0;
+    for (double maglat_deg : {10.0, 25.0, 40.0, 55.0}) {
+        const double maglat = deg2rad(maglat_deg);
+        const double r = 2.0 * re * std::cos(maglat) * std::cos(maglat);
+        const vec3 p{r * std::cos(maglat), 0.0, r * std::sin(maglat)};
+        const auto mc = dipole.coordinates_at(p);
+        EXPECT_NEAR(mc.l_shell, 2.0, 1e-6);
+        EXPECT_GT(mc.b_over_b0(), prev);
+        prev = mc.b_over_b0();
+    }
+}
+
+TEST(Dipole, FieldDirectionAtMagneticEquator)
+{
+    // At the magnetic equator of a z-aligned dipole, B points toward -z?
+    // Convention: field points from geomagnetic south to north inside the
+    // Earth, so at the equator outside it points along -m (i.e., -z here,
+    // since m points to the geomagnetic *north* pole and the field runs
+    // north->south externally... measure only the axis alignment).
+    const dipole_model dipole(3.0e-5, 90.0, 0.0, {0.0, 0.0, 0.0});
+    const double re = astro::earth_mean_radius_m;
+    const vec3 b = dipole.field_at({re, 0.0, 0.0});
+    EXPECT_NEAR(std::abs(b.normalized().z), 1.0, 1e-9);
+    EXPECT_NEAR(b.x, 0.0, 1e-12);
+}
+
+TEST(Dipole, Eccentric2015Parameters)
+{
+    const dipole_model dipole = dipole_model::eccentric_2015();
+    EXPECT_NEAR(dipole.surface_equatorial_field_t(), 2.99e-5, 1e-7);
+    EXPECT_NEAR(dipole.center_offset_m().norm(), 570.0e3, 1.0);
+    // The axis points to high northern latitude in the western hemisphere.
+    EXPECT_GT(geo::latitude_of(dipole.axis_unit()), 75.0);
+}
+
+TEST(Dipole, WeakFieldOverSouthAtlantic)
+{
+    // The eccentric dipole's weakest surface field at fixed altitude sits
+    // over South America / the South Atlantic (the SAA).
+    const dipole_model dipole = dipole_model::eccentric_2015();
+    double min_b = 1e9;
+    double min_lat = 0.0;
+    double min_lon = 0.0;
+    for (double lat = -60.0; lat <= 60.0; lat += 2.0) {
+        for (double lon = -180.0; lon < 180.0; lon += 2.0) {
+            const vec3 p = astro::geodetic_to_ecef({lat, lon, 560.0e3});
+            const double b = dipole.field_at(p).norm();
+            if (b < min_b) {
+                min_b = b;
+                min_lat = lat;
+                min_lon = lon;
+            }
+        }
+    }
+    EXPECT_GT(min_lat, -45.0);
+    EXPECT_LT(min_lat, -5.0);
+    EXPECT_GT(min_lon, -90.0);
+    EXPECT_LT(min_lon, 0.0);
+}
+
+TEST(Dipole, CenteredVsEccentricDifferOnlyByOffset)
+{
+    const dipole_model centered = dipole_model::centered_2015();
+    const dipole_model eccentric = dipole_model::eccentric_2015();
+    EXPECT_EQ(centered.center_offset_m().norm(), 0.0);
+    // Far from Earth the offset matters little.
+    const vec3 far{5.0e7, 1.0e7, 2.0e7};
+    EXPECT_NEAR(centered.field_at(far).norm() / eccentric.field_at(far).norm(), 1.0,
+                0.05);
+}
+
+TEST(Dipole, DegenerateCenterReturnsZero)
+{
+    const dipole_model dipole(3.0e-5, 90.0, 0.0, {0.0, 0.0, 0.0});
+    EXPECT_EQ(dipole.field_at({0.0, 0.0, 0.0}).norm(), 0.0);
+    EXPECT_EQ(dipole.coordinates_at({0.0, 0.0, 0.0}).l_shell, 0.0);
+}
+
+} // namespace
+} // namespace ssplane::radiation

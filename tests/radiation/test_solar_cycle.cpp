@@ -1,0 +1,75 @@
+#include "radiation/solar_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::radiation {
+namespace {
+
+TEST(SolarCycle, EnvelopeBoundsAndShape)
+{
+    // Near-zero at both cycle boundaries, strong near the 2012-2014 maximum.
+    EXPECT_LT(solar_activity_envelope(solar_cycle24_start()), 0.1);
+    EXPECT_LT(solar_activity_envelope(solar_cycle24_end()), 0.1);
+    EXPECT_GT(solar_activity_envelope(astro::instant::from_calendar(2014, 4, 1)), 0.85);
+    for (double frac = 0.0; frac <= 1.0; frac += 0.05) {
+        const auto t = solar_cycle24_start().plus_days(frac * 4017.0);
+        const double e = solar_activity_envelope(t);
+        EXPECT_GE(e, 0.0);
+        EXPECT_LE(e, 1.0);
+    }
+}
+
+TEST(SolarCycle, ActivityIsDeterministicPerDay)
+{
+    const auto t1 = astro::instant::from_calendar(2013, 7, 20, 3);
+    const auto t2 = astro::instant::from_calendar(2013, 7, 20, 21);
+    // Same day -> same activity (frozen per day).
+    EXPECT_DOUBLE_EQ(solar_activity(t1), solar_activity(t2));
+    // Different days differ (with overwhelming probability).
+    const auto t3 = astro::instant::from_calendar(2013, 7, 21, 3);
+    EXPECT_NE(solar_activity(t1), solar_activity(t3));
+}
+
+TEST(SolarCycle, ActivityNonNegativeAndBounded)
+{
+    for (int day = 0; day < 4000; day += 13) {
+        const double a = solar_activity(solar_cycle24_start().plus_days(day));
+        EXPECT_GE(a, 0.0);
+        EXPECT_LT(a, 5.0); // storms cap well below 5x
+    }
+}
+
+TEST(SolarCycle, SampleDaysProperties)
+{
+    const auto days = sample_cycle24_days(128, 42);
+    ASSERT_EQ(days.size(), 128u);
+    for (std::size_t i = 0; i < days.size(); ++i) {
+        EXPECT_GE(days[i].julian_date(), solar_cycle24_start().julian_date());
+        EXPECT_LE(days[i].julian_date(), solar_cycle24_end().julian_date());
+        if (i > 0) EXPECT_GE(days[i].julian_date(), days[i - 1].julian_date());
+    }
+}
+
+TEST(SolarCycle, SampleDaysDeterministicInSeed)
+{
+    const auto a = sample_cycle24_days(16, 7);
+    const auto b = sample_cycle24_days(16, 7);
+    const auto c = sample_cycle24_days(16, 8);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].julian_date(), b[i].julian_date());
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= (a[i].julian_date() != c[i].julian_date());
+    EXPECT_TRUE(differs);
+}
+
+TEST(SolarCycle, SampleDaysValidation)
+{
+    EXPECT_THROW(sample_cycle24_days(0, 1), contract_violation);
+    EXPECT_THROW(sample_cycle24_days(-5, 1), contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::radiation

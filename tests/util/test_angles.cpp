@@ -1,0 +1,97 @@
+#include "util/angles.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ssplane {
+namespace {
+
+TEST(Angles, DegRadRoundTripIsExactEnough)
+{
+    for (double deg = -720.0; deg <= 720.0; deg += 7.3) {
+        EXPECT_NEAR(rad2deg(deg2rad(deg)), deg, 1e-12);
+    }
+}
+
+TEST(Angles, HoursRadRoundTrip)
+{
+    for (double h = -48.0; h <= 48.0; h += 0.7) {
+        EXPECT_NEAR(rad2hours(hours2rad(h)), h, 1e-12);
+    }
+}
+
+TEST(Angles, FifteenDegreesPerHour)
+{
+    EXPECT_NEAR(rad2deg(hours2rad(1.0)), 15.0, 1e-12);
+    EXPECT_NEAR(rad2deg(hours2rad(24.0)), 360.0, 1e-12);
+}
+
+class WrapTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapTest, WrapTwoPiInRange)
+{
+    const double w = wrap_two_pi(GetParam());
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, two_pi);
+    // Wrapping preserves the angle modulo 2*pi.
+    EXPECT_NEAR(std::remainder(w - GetParam(), two_pi), 0.0, 1e-9);
+}
+
+TEST_P(WrapTest, WrapPiInRange)
+{
+    const double w = wrap_pi(GetParam());
+    EXPECT_GT(w, -pi - 1e-12);
+    EXPECT_LE(w, pi + 1e-12);
+    EXPECT_NEAR(std::remainder(w - GetParam(), two_pi), 0.0, 1e-9);
+}
+
+TEST_P(WrapTest, WrapDegreesConsistentWithRadians)
+{
+    const double deg = rad2deg(GetParam());
+    EXPECT_NEAR(wrap_deg_360(deg), rad2deg(wrap_two_pi(GetParam())), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepAngles, WrapTest,
+                         ::testing::Values(-100.0, -7.0, -3.2, -0.1, 0.0, 0.1, 3.13,
+                                           3.15, 6.28, 6.30, 50.0, 1000.0));
+
+TEST(Angles, WrapHours)
+{
+    EXPECT_NEAR(wrap_hours_24(25.0), 1.0, 1e-12);
+    EXPECT_NEAR(wrap_hours_24(-1.0), 23.0, 1e-12);
+    EXPECT_NEAR(wrap_hours_24(24.0), 0.0, 1e-12);
+    EXPECT_NEAR(wrap_hours_24(48.5), 0.5, 1e-12);
+}
+
+TEST(Angles, HourDifferenceIsShortestWay)
+{
+    EXPECT_NEAR(hour_difference(1.0, 23.0), 2.0, 1e-12);
+    EXPECT_NEAR(hour_difference(23.0, 1.0), -2.0, 1e-12);
+    EXPECT_NEAR(hour_difference(12.0, 0.0), 12.0, 1e-12);
+    EXPECT_NEAR(hour_difference(6.0, 6.0), 0.0, 1e-12);
+}
+
+TEST(Angles, HourDifferenceAntisymmetricModulo24)
+{
+    for (double a = 0.0; a < 24.0; a += 1.7) {
+        for (double b = 0.0; b < 24.0; b += 2.3) {
+            const double d1 = hour_difference(a, b);
+            const double d2 = hour_difference(b, a);
+            EXPECT_NEAR(std::fmod(d1 + d2 + 48.0, 24.0), 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Angles, ClampAndSafeTrig)
+{
+    EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+    EXPECT_NO_THROW(safe_acos(1.0 + 1e-14));
+    EXPECT_NEAR(safe_acos(1.0 + 1e-14), 0.0, 1e-6);
+    EXPECT_NEAR(safe_asin(-1.0 - 1e-14), -pi / 2.0, 1e-6);
+}
+
+} // namespace
+} // namespace ssplane

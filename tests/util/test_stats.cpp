@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane {
+namespace {
+
+TEST(Stats, MeanAndStddev)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(mean(xs), 5.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), 2.138089935299395, 1e-9);
+}
+
+TEST(Stats, EmptySamplesAreZero)
+{
+    const std::vector<double> empty;
+    EXPECT_EQ(mean(empty), 0.0);
+    EXPECT_EQ(stddev(empty), 0.0);
+    EXPECT_EQ(min_value(empty), 0.0);
+    EXPECT_EQ(max_value(empty), 0.0);
+    EXPECT_EQ(median(empty), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(percentile(xs, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 100.0), 4.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 50.0), 2.5, 1e-12);
+    EXPECT_NEAR(percentile(xs, 25.0), 1.75, 1e-12);
+}
+
+TEST(Stats, PercentileRejectsBadP)
+{
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(percentile(xs, -1.0), contract_violation);
+    EXPECT_THROW(percentile(xs, 101.0), contract_violation);
+}
+
+TEST(Stats, MedianUnsortedInput)
+{
+    const std::vector<double> xs{9.0, 1.0, 5.0};
+    EXPECT_NEAR(median(xs), 5.0, 1e-12);
+}
+
+TEST(Stats, SummaryIsConsistent)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+    const auto s = summarize(xs);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_NEAR(s.mean, 50.5, 1e-12);
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.median, 50.5, 1e-12);
+    EXPECT_LE(s.p25, s.median);
+    EXPECT_LE(s.median, s.p75);
+    EXPECT_LE(s.p75, s.p95);
+}
+
+TEST(Stats, LinspaceEndpointsAndSpacing)
+{
+    const auto xs = linspace(0.0, 10.0, 11);
+    ASSERT_EQ(xs.size(), 11u);
+    EXPECT_EQ(xs.front(), 0.0);
+    EXPECT_EQ(xs.back(), 10.0);
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        EXPECT_NEAR(xs[i] - xs[i - 1], 1.0, 1e-12);
+}
+
+TEST(Stats, LogspaceEndpointsAndRatio)
+{
+    const auto xs = logspace(1.0, 1000.0, 4);
+    ASSERT_EQ(xs.size(), 4u);
+    EXPECT_NEAR(xs[0], 1.0, 1e-9);
+    EXPECT_NEAR(xs[1], 10.0, 1e-9);
+    EXPECT_NEAR(xs[2], 100.0, 1e-9);
+    EXPECT_NEAR(xs[3], 1000.0, 1e-9);
+}
+
+TEST(Stats, LinspaceLogspaceValidation)
+{
+    EXPECT_THROW(linspace(0.0, 1.0, 1), contract_violation);
+    EXPECT_THROW(logspace(0.0, 1.0, 3), contract_violation);
+    EXPECT_THROW(logspace(1.0, -1.0, 3), contract_violation);
+}
+
+} // namespace
+} // namespace ssplane
