@@ -9,8 +9,11 @@
 #define SSPLANE_BENCH_BENCH_UTIL_H
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "demand/demand_model.h"
 #include "demand/population.h"
@@ -51,6 +54,22 @@ public:
 private:
     std::chrono::steady_clock::time_point start_;
 };
+
+/// Write benchmark timings as machine-readable JSON: {"name": ns_per_op, ...}.
+/// Future PRs diff these files to track the perf trajectory.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<std::pair<std::string, double>>& ns_per_op)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    for (std::size_t i = 0; i < ns_per_op.size(); ++i) {
+        out << "  \"" << ns_per_op[i].first << "\": " << ns_per_op[i].second
+            << (i + 1 < ns_per_op.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return static_cast<bool>(out);
+}
 
 } // namespace ssplane::bench
 

@@ -1,9 +1,18 @@
 // Performance microbenchmarks (google-benchmark) for the library's hot
-// paths: propagation, flux evaluation, plane masks, greedy iterations and
-// routing.
+// paths: propagation, flux evaluation, map sweeps, plane masks, greedy
+// iterations and routing.
+//
+// Besides the console table, every run writes BENCH_perf.json (benchmark
+// name -> ns/op; path overridable via SSPLANE_BENCH_JSON) so successive PRs
+// can track the perf trajectory mechanically.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
 #include "astro/propagator.h"
+#include "bench_util.h"
 #include "core/design_problem.h"
 #include "core/greedy_cover.h"
 #include "core/plane_trace.h"
@@ -12,6 +21,7 @@
 #include "geo/coverage.h"
 #include "lsn/routing.h"
 #include "radiation/belts.h"
+#include "radiation/fluence.h"
 #include "util/angles.h"
 
 using namespace ssplane;
@@ -45,6 +55,37 @@ void bm_flux_eval(benchmark::State& state)
     }
 }
 BENCHMARK(bm_flux_eval);
+
+void bm_flux_map_1deg(benchmark::State& state)
+{
+    const radiation::radiation_environment env;
+    const auto t = astro::instant::from_calendar(2014, 3, 15);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(radiation::flux_map_at_altitude(env, 560.0e3, 1.0, t));
+    }
+}
+BENCHMARK(bm_flux_map_1deg)->Unit(benchmark::kMillisecond);
+
+void bm_max_flux_map_32days(benchmark::State& state)
+{
+    const radiation::radiation_environment env;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            radiation::max_electron_flux_map(env, 560.0e3, 1.0, 32, 7));
+    }
+}
+BENCHMARK(bm_max_flux_map_32days)->Unit(benchmark::kMillisecond);
+
+void bm_daily_fluence(benchmark::State& state)
+{
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            radiation::daily_fluence(env, 560.0e3, deg2rad(65.0), day, 0.0, 10.0));
+    }
+}
+BENCHMARK(bm_daily_fluence)->Unit(benchmark::kMillisecond);
 
 void bm_plane_mask(benchmark::State& state)
 {
@@ -90,6 +131,67 @@ void bm_dijkstra(benchmark::State& state)
 }
 BENCHMARK(bm_dijkstra)->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that also collects per-benchmark ns/op and writes
+/// BENCH_perf.json on teardown.
+class perf_json_reporter : public benchmark::ConsoleReporter {
+public:
+    explicit perf_json_reporter(std::string path) : path_(std::move(path)) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        // Only Run members present in every google-benchmark release are
+        // touched here (error_occurred was removed in 1.8, skipped added
+        // there) so the bench builds against old and new libbenchmark.
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration) continue;
+            const double per_op_s =
+                run.iterations > 0
+                    ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                    : 0.0;
+            // Repetitions of one benchmark share a name: accumulate and emit
+            // the mean so the JSON has one key per benchmark.
+            const std::string name = run.benchmark_name();
+            auto it = std::find_if(results_.begin(), results_.end(),
+                                   [&](const auto& r) { return r.name == name; });
+            if (it == results_.end()) it = results_.insert(results_.end(), {name, 0.0, 0});
+            it->ns_sum += per_op_s * 1e9;
+            ++it->count;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    void Finalize() override
+    {
+        ConsoleReporter::Finalize();
+        std::vector<std::pair<std::string, double>> means;
+        means.reserve(results_.size());
+        for (const auto& r : results_)
+            means.emplace_back(r.name, r.ns_sum / static_cast<double>(r.count));
+        if (!bench::write_bench_json(path_, means))
+            std::cerr << "failed to write " << path_ << "\n";
+        else
+            std::cout << "wrote " << path_ << " (" << means.size() << " benchmarks)\n";
+    }
+
+private:
+    struct accum {
+        std::string name;
+        double ns_sum = 0.0;
+        int count = 0;
+    };
+    std::string path_;
+    std::vector<accum> results_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    const char* json_path = std::getenv("SSPLANE_BENCH_JSON");
+    perf_json_reporter reporter(json_path ? json_path : "BENCH_perf.json");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

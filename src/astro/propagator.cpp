@@ -32,19 +32,41 @@ j2_propagator::j2_propagator(const orbital_elements& elements, const instant& ep
 {
 }
 
+orbital_elements j2_propagator::elements_after(double dt_s) const noexcept
+{
+    orbital_elements el = elements0_;
+    el.raan_rad = wrap_two_pi(el.raan_rad + rates_.raan_rate * dt_s);
+    el.arg_perigee_rad = wrap_two_pi(el.arg_perigee_rad + rates_.arg_perigee_rate * dt_s);
+    el.mean_anomaly_rad = wrap_two_pi(el.mean_anomaly_rad + rates_.mean_anomaly_rate * dt_s);
+    return el;
+}
+
 orbital_elements j2_propagator::elements_at(const instant& t) const noexcept
 {
-    const double dt = t.seconds_since(epoch_);
-    orbital_elements el = elements0_;
-    el.raan_rad = wrap_two_pi(el.raan_rad + rates_.raan_rate * dt);
-    el.arg_perigee_rad = wrap_two_pi(el.arg_perigee_rad + rates_.arg_perigee_rate * dt);
-    el.mean_anomaly_rad = wrap_two_pi(el.mean_anomaly_rad + rates_.mean_anomaly_rate * dt);
-    return el;
+    return elements_after(t.seconds_since(epoch_));
 }
 
 state_vector j2_propagator::state_at(const instant& t) const
 {
     return elements_to_state(elements_at(t));
+}
+
+void j2_propagator::states_at_offsets(const instant& base,
+                                      std::span<const double> offsets_s,
+                                      std::span<state_vector> out) const
+{
+    expects(out.size() >= offsets_s.size(), "output span too small for offsets");
+    const double base_dt = base.seconds_since(epoch_);
+    for (std::size_t i = 0; i < offsets_s.size(); ++i)
+        out[i] = elements_to_state(elements_after(base_dt + offsets_s[i]));
+}
+
+std::vector<state_vector> j2_propagator::states_at_many(
+    const instant& base, std::span<const double> offsets_s) const
+{
+    std::vector<state_vector> out(offsets_s.size());
+    states_at_offsets(base, offsets_s, out);
+    return out;
 }
 
 double j2_propagator::nodal_period_s() const noexcept

@@ -8,6 +8,9 @@
 #ifndef SSPLANE_ASTRO_PROPAGATOR_H
 #define SSPLANE_ASTRO_PROPAGATOR_H
 
+#include <span>
+#include <vector>
+
 #include "astro/kepler.h"
 #include "astro/time.h"
 
@@ -36,8 +39,23 @@ public:
     /// Mean elements at time `t` (angles wrapped to [0, 2*pi)).
     orbital_elements elements_at(const instant& t) const noexcept;
 
+    /// Mean elements `dt_s` seconds after the epoch — the single secular
+    /// advance shared by the per-call and batched paths.
+    orbital_elements elements_after(double dt_s) const noexcept;
+
     /// ECI state at time `t`.
     state_vector state_at(const instant& t) const;
+
+    /// Batched propagation: ECI states at `base + offsets_s[i]` seconds for
+    /// every i, written to `out` (which must hold at least offsets_s.size()
+    /// states). One epoch-offset is hoisted and the element advance runs as
+    /// a single sweep — the vectorizable form of calling state_at in a loop.
+    void states_at_offsets(const instant& base, std::span<const double> offsets_s,
+                           std::span<state_vector> out) const;
+
+    /// Convenience allocation form of states_at_offsets.
+    std::vector<state_vector> states_at_many(const instant& base,
+                                             std::span<const double> offsets_s) const;
 
     /// Nodal (draconic) period: time between successive ascending-node
     /// crossings, 2*pi / (n̄ + dω/dt) [s].

@@ -10,6 +10,17 @@
 
 namespace ssplane::core {
 
+/// One (value, weight) sample for weighted order statistics.
+struct weighted_sample {
+    double value = 0.0;
+    double weight = 0.0;
+};
+
+/// Weighted median: the smallest value whose cumulative weight reaches half
+/// the total weight (samples sorted by value). Zero-weight samples never
+/// shift the median; an empty input yields 0.
+double weighted_median(std::vector<weighted_sample> samples);
+
 /// Median per-satellite daily fluence across a constellation.
 struct constellation_radiation_summary {
     double median_electron_fluence = 0.0; ///< [#/cm^2/MeV] per day.

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
 
 #include "constellation/sun_sync.h"
 #include "core/plane_trace.h"
 #include "geo/coverage.h"
 #include "util/angles.h"
 #include "util/expects.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace ssplane::core {
@@ -44,6 +49,30 @@ struct seed_cell {
     bool found = false;
     std::size_t row = 0;
     std::size_t col = 0;
+};
+
+/// Memoized coverage masks for one greedy run. Planes are keyed by their
+/// exact (inclination, ltan, swath): repeated seeds (cells needing several
+/// capacities) solve to bit-identical LTANs, so their masks never get
+/// rebuilt.
+class mask_cache {
+public:
+    explicit mask_cache(const geo::lat_tod_grid& grid) : table_(grid) {}
+
+    using mask_ptr = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+    mask_ptr mask_for(double inclination_rad, double ltan_h, double swath_rad)
+    {
+        const auto key = std::make_tuple(inclination_rad, ltan_h, swath_rad);
+        if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+        auto mask = std::make_shared<std::vector<std::uint8_t>>();
+        table_.coverage_mask(inclination_rad, ltan_h, swath_rad, *mask);
+        return cache_.emplace(key, std::move(mask)).first->second;
+    }
+
+private:
+    sun_frame_table table_;
+    std::map<std::tuple<double, double, double>, mask_ptr> cache_;
 };
 
 seed_cell pick_seed(const geo::grid2d& residual, seed_rule rule, rng& random)
@@ -126,6 +155,7 @@ ss_design_result greedy_ss_cover(const design_problem& problem,
 
     geo::lat_tod_grid residual = problem.demand; // working copy
     rng random(options.seed);
+    mask_cache masks(residual);
 
     for (int iteration = 0; iteration < options.max_planes; ++iteration) {
         const seed_cell seed = pick_seed(residual.field(), options.rule, random);
@@ -137,11 +167,11 @@ ss_design_result greedy_ss_cover(const design_problem& problem,
 
         // The max-demand latitude is always reachable for SS inclinations at
         // LEO (|lat| <= ~82°); guard anyway by skipping unreachable rows.
-        std::vector<std::pair<double, std::vector<std::uint8_t>>> candidates;
+        std::vector<std::pair<double, mask_cache::mask_ptr>> candidates;
         const auto add_candidate = [&](std::optional<double> ltan) {
             if (!ltan) return;
-            candidates.emplace_back(
-                *ltan, plane_coverage_mask(residual, *inclination, *ltan, swath));
+            candidates.emplace_back(*ltan,
+                                    masks.mask_for(*inclination, *ltan, swath));
         };
         add_candidate(ltans.ascending);
         if (options.try_both_branches) add_candidate(ltans.descending);
@@ -153,17 +183,22 @@ ss_design_result greedy_ss_cover(const design_problem& problem,
             continue;
         }
 
+        // Score candidates concurrently (index-ordered results keep the
+        // tie-break — first best wins — identical to the serial loop).
+        const auto covers = parallel_map<double>(
+            candidates.size(), [&](std::size_t i) {
+                return coverable_demand(residual.field(), *candidates[i].second);
+            });
         std::size_t best = 0;
         double best_cover = -1.0;
-        for (std::size_t i = 0; i < candidates.size(); ++i) {
-            const double cover = coverable_demand(residual.field(), candidates[i].second);
-            if (cover > best_cover) {
-                best_cover = cover;
+        for (std::size_t i = 0; i < covers.size(); ++i) {
+            if (covers[i] > best_cover) {
+                best_cover = covers[i];
                 best = i;
             }
         }
 
-        const double removed = apply_plane(residual.field(), candidates[best].second);
+        const double removed = apply_plane(residual.field(), *candidates[best].second);
         result.planes.push_back({candidates[best].first, *inclination,
                                  problem.altitude_m, sats_per_plane, removed});
     }

@@ -45,20 +45,49 @@ std::vector<std::uint8_t> plane_coverage_mask(const geo::lat_tod_grid& grid,
                                               double ltan_h,
                                               double street_half_width_rad)
 {
+    const sun_frame_table table(grid);
+    std::vector<std::uint8_t> mask;
+    table.coverage_mask(inclination_rad, ltan_h, street_half_width_rad, mask);
+    return mask;
+}
+
+sun_frame_table::sun_frame_table(const geo::lat_tod_grid& grid)
+{
+    cos_lat_.resize(grid.n_lat());
+    sin_lat_.resize(grid.n_lat());
+    for (std::size_t r = 0; r < grid.n_lat(); ++r) {
+        const double lat = deg2rad(grid.latitude_center_deg(r));
+        cos_lat_[r] = std::cos(lat);
+        sin_lat_[r] = std::sin(lat);
+    }
+    cos_tod_.resize(grid.n_tod());
+    sin_tod_.resize(grid.n_tod());
+    for (std::size_t c = 0; c < grid.n_tod(); ++c) {
+        const double theta = hours2rad(grid.tod_center_h(c) - 12.0);
+        cos_tod_[c] = std::cos(theta);
+        sin_tod_[c] = std::sin(theta);
+    }
+}
+
+void sun_frame_table::coverage_mask(double inclination_rad, double ltan_h,
+                                    double street_half_width_rad,
+                                    std::vector<std::uint8_t>& mask) const
+{
     const vec3 n = plane_normal(inclination_rad, ltan_h);
     const double sin_c = std::sin(street_half_width_rad);
 
-    std::vector<std::uint8_t> mask(grid.n_lat() * grid.n_tod(), 0);
-    for (std::size_t r = 0; r < grid.n_lat(); ++r) {
-        const double lat = grid.latitude_center_deg(r);
-        // Cheap row rejection: distance from the plane is at least
-        // |lat| - max reachable latitude.
-        for (std::size_t c = 0; c < grid.n_tod(); ++c) {
-            const vec3 p = sun_frame_unit(lat, grid.tod_center_h(c));
-            if (std::abs(n.dot(p)) <= sin_c) mask[r * grid.n_tod() + c] = 1;
+    mask.assign(n_lat() * n_tod(), 0);
+    for (std::size_t r = 0; r < n_lat(); ++r) {
+        const double cl = cos_lat_[r];
+        const double sl = sin_lat_[r];
+        std::uint8_t* row = mask.data() + r * n_tod();
+        for (std::size_t c = 0; c < n_tod(); ++c) {
+            // Same products and summation order as n.dot(sun_frame_unit(...)).
+            const double dot =
+                n.x * (cl * cos_tod_[c]) + n.y * (cl * sin_tod_[c]) + n.z * sl;
+            if (std::abs(dot) <= sin_c) row[c] = 1;
         }
     }
-    return mask;
 }
 
 ltan_solutions ltan_through(double inclination_rad, double latitude_deg, double tod_h)

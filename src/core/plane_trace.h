@@ -44,6 +44,33 @@ std::vector<std::uint8_t> plane_coverage_mask(const geo::lat_tod_grid& grid,
                                               double ltan_h,
                                               double street_half_width_rad);
 
+/// Precomputed per-row/per-column trigonometry of a lat x tod grid.
+///
+/// Building a coverage mask only needs cos/sin of each latitude row and each
+/// time-of-day column; caching them turns the per-cell work into five
+/// multiplies, with bit-identical results to the direct sun_frame_unit path.
+/// Build one per grid and reuse it for every plane evaluated on that grid
+/// (the greedy designer's hot loop).
+class sun_frame_table {
+public:
+    explicit sun_frame_table(const geo::lat_tod_grid& grid);
+
+    std::size_t n_lat() const noexcept { return cos_lat_.size(); }
+    std::size_t n_tod() const noexcept { return cos_tod_.size(); }
+
+    /// Fill `mask` with the plane_coverage_mask of this grid (resized to
+    /// n_lat x n_tod, row-major).
+    void coverage_mask(double inclination_rad, double ltan_h,
+                       double street_half_width_rad,
+                       std::vector<std::uint8_t>& mask) const;
+
+private:
+    std::vector<double> cos_lat_;
+    std::vector<double> sin_lat_;
+    std::vector<double> cos_tod_;
+    std::vector<double> sin_tod_;
+};
+
 /// LTANs of the planes whose ascending (resp. descending) branch passes
 /// through the point (latitude, tod). Empty when |latitude| exceeds the
 /// plane's maximum reachable latitude.

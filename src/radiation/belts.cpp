@@ -29,10 +29,9 @@ radiation_environment::radiation_environment(const dipole_model& dipole,
 {
 }
 
-particle_flux radiation_environment::flux(const vec3& r_ecef_m,
-                                          double activity) const noexcept
+flux_components radiation_environment::components_at(const vec3& r_ecef_m) const noexcept
 {
-    particle_flux out;
+    flux_components out;
 
     const double r = r_ecef_m.norm();
     if (r < astro::earth_mean_radius_m + params_.atmospheric_cutoff_altitude_m)
@@ -57,33 +56,54 @@ particle_flux radiation_environment::flux(const vec3& r_ecef_m,
                   params_.drift_loss_taper_m,
               0.0, 1.0);
 
-    // Electrons: inner belt + activity-driven outer belt, each thinned away
-    // from the magnetic equator with its own pitch-angle steepness.
-    const double outer_scale =
-        params_.electron_activity_floor + params_.electron_activity_gain * activity;
-    const double inner =
+    // Electrons: inner belt + outer belt (to be scaled by activity), each
+    // thinned away from the magnetic equator with its own pitch-angle
+    // steepness.
+    out.electron_inner =
         params_.electron_inner_amplitude * inner_survival *
         gaussian(mc.l_shell, params_.electron_inner_center_l,
                  params_.electron_inner_width_l) *
         std::pow(b_ratio, -params_.electron_inner_confinement_exponent);
-    const double outer =
-        params_.electron_outer_amplitude * outer_scale *
+    out.electron_outer =
+        params_.electron_outer_amplitude *
         gaussian(mc.l_shell, params_.electron_outer_center_l,
                  params_.electron_outer_width_l) *
         std::pow(b_ratio, -params_.electron_outer_confinement_exponent);
-    out.electrons_cm2_s_mev = inner + outer;
 
-    // Protons: single inner belt, more strongly confined to the equator,
-    // mildly suppressed at high activity.
-    const double proton_scale =
-        params_.proton_activity_floor + params_.proton_activity_slope * std::min(activity, 1.5);
-    const double proton_equatorial =
-        params_.proton_amplitude * proton_scale * inner_survival *
-        gaussian(mc.l_shell, params_.proton_center_l, params_.proton_width_l);
-    out.protons_cm2_s_mev =
-        proton_equatorial * std::pow(b_ratio, -params_.proton_confinement_exponent);
+    // Protons: single inner belt, more strongly confined to the equator.
+    out.proton = params_.proton_amplitude * inner_survival *
+                 gaussian(mc.l_shell, params_.proton_center_l, params_.proton_width_l) *
+                 std::pow(b_ratio, -params_.proton_confinement_exponent);
 
     return out;
+}
+
+double radiation_environment::outer_activity_scale(double activity) const noexcept
+{
+    return params_.electron_activity_floor + params_.electron_activity_gain * activity;
+}
+
+double radiation_environment::proton_activity_scale(double activity) const noexcept
+{
+    // Protons mildly anti-correlate with activity (atmospheric losses).
+    return params_.proton_activity_floor +
+           params_.proton_activity_slope * std::min(activity, 1.5);
+}
+
+particle_flux radiation_environment::combine(const flux_components& c,
+                                             double activity) const noexcept
+{
+    particle_flux out;
+    out.electrons_cm2_s_mev =
+        c.electron_inner + c.electron_outer * outer_activity_scale(activity);
+    out.protons_cm2_s_mev = c.proton * proton_activity_scale(activity);
+    return out;
+}
+
+particle_flux radiation_environment::flux(const vec3& r_ecef_m,
+                                          double activity) const noexcept
+{
+    return combine(components_at(r_ecef_m), activity);
 }
 
 particle_flux radiation_environment::flux_at(const vec3& r_ecef_m,

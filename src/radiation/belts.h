@@ -24,6 +24,20 @@ struct particle_flux {
     double protons_cm2_s_mev = 0.0;   ///< ~10 MeV trapped protons.
 };
 
+/// Activity-independent factorization of the belt flux at one position.
+///
+/// Solar activity enters the model only as multiplicative scales on the
+/// outer electron belt and the proton belt, so the expensive part of a flux
+/// evaluation — dipole coordinates, drift-shell survival, belt profiles —
+/// can be computed once per position and reused across every sampled day:
+///   electrons(a) = electron_inner + electron_outer * outer_activity_scale(a)
+///   protons(a)   = proton * proton_activity_scale(a)
+struct flux_components {
+    double electron_inner = 0.0; ///< [#/cm^2/s/MeV], activity-independent.
+    double electron_outer = 0.0; ///< [#/cm^2/s/MeV] at unit outer scale.
+    double proton = 0.0;         ///< [#/cm^2/s/MeV] at unit proton scale.
+};
+
 /// Tunable belt parameters (defaults are the calibrated values).
 struct belt_parameters {
     // Electron belts (differential flux at 1 MeV, equatorial peak).
@@ -60,6 +74,10 @@ struct belt_parameters {
     /// Inner-belt particles whose drift shell dips below the cutoff at any
     /// longitude are absorbed — this is what confines low-L flux to the SAA.
     double drift_loss_taper_m = 150.0e3;
+
+    /// Memberwise equality — cache keys (flux_cache) depend on comparing
+    /// every parameter, so keep this defaulted when adding fields.
+    bool operator==(const belt_parameters&) const = default;
 };
 
 /// The complete radiation environment: dipole geometry + belt profiles +
@@ -77,6 +95,21 @@ public:
     /// Flux at an Earth-fixed position and absolute time (activity from the
     /// solar-cycle model).
     particle_flux flux_at(const vec3& r_ecef_m, const astro::instant& t) const noexcept;
+
+    /// Activity-independent flux factorization at a position (the expensive
+    /// geometry half of a flux evaluation; see flux_components).
+    flux_components components_at(const vec3& r_ecef_m) const noexcept;
+
+    /// Multiplicative outer-electron-belt response to solar activity.
+    double outer_activity_scale(double activity) const noexcept;
+
+    /// Multiplicative proton-belt response to solar activity.
+    double proton_activity_scale(double activity) const noexcept;
+
+    /// Recombine cached components with an activity level. `flux()` is
+    /// exactly combine(components_at(r), activity), so cached evaluation
+    /// paths match the direct path bit-for-bit.
+    particle_flux combine(const flux_components& c, double activity) const noexcept;
 
     const dipole_model& dipole() const noexcept { return dipole_; }
     const belt_parameters& parameters() const noexcept { return params_; }

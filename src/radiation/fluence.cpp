@@ -1,10 +1,13 @@
 #include "radiation/fluence.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "astro/frames.h"
+#include "radiation/flux_cache.h"
 #include "radiation/solar_cycle.h"
 #include "util/expects.h"
+#include "util/parallel.h"
 
 namespace ssplane::radiation {
 
@@ -16,21 +19,59 @@ fluence_result accumulate_fluence(const radiation_environment& env,
 {
     expects(duration_s > 0.0 && step_s > 0.0, "duration and step must be positive");
 
-    fluence_result total;
-    const auto n_steps = static_cast<std::size_t>(std::ceil(duration_s / step_s));
     // Freeze the activity at the start-of-day value: the paper accumulates
     // per-day, and intra-day activity structure is below model fidelity.
     const double activity = solar_activity(start);
 
+    // Midpoint samples with exact interval lengths: the final step covers
+    // whatever remainder of `duration_s` is left (its midpoint sits at the
+    // center of the remainder), so partial steps integrate exactly instead
+    // of being dropped.
+    const auto n_steps = static_cast<std::size_t>(std::ceil(duration_s / step_s));
+    std::vector<double> midpoints_s;
+    std::vector<double> intervals_s;
+    midpoints_s.reserve(n_steps);
+    intervals_s.reserve(n_steps);
     for (std::size_t i = 0; i < n_steps; ++i) {
-        const double t_offset = (static_cast<double>(i) + 0.5) * step_s;
-        if (t_offset > duration_s) break;
-        const astro::instant t = start.plus_seconds(t_offset);
-        const vec3 r_ecef = astro::eci_to_ecef(orbit.state_at(t).position_m, t);
-        const particle_flux f = env.flux(r_ecef, activity);
-        const double dt = std::min(step_s, duration_s - static_cast<double>(i) * step_s);
-        total.electrons_cm2_mev += f.electrons_cm2_s_mev * dt;
-        total.protons_cm2_mev += f.protons_cm2_s_mev * dt;
+        const double t0 = static_cast<double>(i) * step_s;
+        const double dt = std::min(step_s, duration_s - t0);
+        if (dt <= 0.0) break;
+        midpoints_s.push_back(t0 + 0.5 * dt);
+        intervals_s.push_back(dt);
+    }
+    const std::size_t n = midpoints_s.size();
+
+    // Fixed-size chunks keep the reduction order independent of the worker
+    // count: chunk partial sums are always combined in chunk order.
+    constexpr std::size_t chunk = 1024;
+    const std::size_t n_chunks = (n + chunk - 1) / chunk;
+    std::vector<fluence_result> partials(n_chunks);
+
+    parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+            const std::span<const double> offsets(midpoints_s.data() + begin,
+                                                  end - begin);
+            std::vector<astro::state_vector> states(offsets.size());
+            orbit.states_at_offsets(start, offsets, states);
+
+            fluence_result sum;
+            for (std::size_t i = begin; i < end; ++i) {
+                const astro::instant t = start.plus_seconds(midpoints_s[i]);
+                const vec3 r_ecef =
+                    astro::eci_to_ecef(states[i - begin].position_m, t);
+                const particle_flux f = env.flux(r_ecef, activity);
+                sum.electrons_cm2_mev += f.electrons_cm2_s_mev * intervals_s[i];
+                sum.protons_cm2_mev += f.protons_cm2_s_mev * intervals_s[i];
+            }
+            partials[begin / chunk] = sum;
+        },
+        chunk);
+
+    fluence_result total;
+    for (const auto& p : partials) {
+        total.electrons_cm2_mev += p.electrons_cm2_mev;
+        total.protons_cm2_mev += p.protons_cm2_mev;
     }
     return total;
 }
@@ -52,18 +93,8 @@ flux_maps flux_map_at_altitude(const radiation_environment& env,
                                double cell_deg,
                                const astro::instant& t)
 {
-    flux_maps maps{geo::lat_lon_grid(cell_deg), geo::lat_lon_grid(cell_deg)};
-    const double activity = solar_activity(t);
-    for (std::size_t r = 0; r < maps.electrons.n_lat(); ++r) {
-        for (std::size_t c = 0; c < maps.electrons.n_lon(); ++c) {
-            const astro::geodetic g{maps.electrons.latitude_center_deg(r),
-                                    maps.electrons.longitude_center_deg(c), altitude_m};
-            const particle_flux f = env.flux(astro::geodetic_to_ecef(g), activity);
-            maps.electrons.field()(r, c) = f.electrons_cm2_s_mev;
-            maps.protons.field()(r, c) = f.protons_cm2_s_mev;
-        }
-    }
-    return maps;
+    const auto cache = shared_flux_map_cache(env, altitude_m, cell_deg);
+    return cache->flux_map(solar_activity(t));
 }
 
 geo::lat_lon_grid max_electron_flux_map(const radiation_environment& env,
@@ -72,27 +103,16 @@ geo::lat_lon_grid max_electron_flux_map(const radiation_environment& env,
                                         int n_days,
                                         std::uint64_t seed)
 {
-    geo::lat_lon_grid out(cell_deg);
-    const auto days = sample_cycle24_days(n_days, seed);
-
     // Activity enters the electron flux as a multiplicative scale on the
     // outer belt, so the max over days at each cell is achieved on the
-    // max-activity day for outer-belt cells and is activity-independent for
-    // inner-belt cells. Evaluating the full field per sampled day keeps the
-    // computation faithful to the paper's procedure.
-    for (const auto& day : days) {
-        const double activity = solar_activity(day);
-        for (std::size_t r = 0; r < out.n_lat(); ++r) {
-            for (std::size_t c = 0; c < out.n_lon(); ++c) {
-                const astro::geodetic g{out.latitude_center_deg(r),
-                                        out.longitude_center_deg(c), altitude_m};
-                const particle_flux f = env.flux(astro::geodetic_to_ecef(g), activity);
-                if (f.electrons_cm2_s_mev > out.field()(r, c))
-                    out.field()(r, c) = f.electrons_cm2_s_mev;
-            }
-        }
-    }
-    return out;
+    // max-activity day — the cached lattice serves the whole sweep with one
+    // geometry build plus per-day scales.
+    const auto cache = shared_flux_map_cache(env, altitude_m, cell_deg);
+    const auto days = sample_cycle24_days(n_days, seed);
+    std::vector<double> activities;
+    activities.reserve(days.size());
+    for (const auto& day : days) activities.push_back(solar_activity(day));
+    return cache->max_electron_map(activities);
 }
 
 } // namespace ssplane::radiation

@@ -138,5 +138,37 @@ TEST(Propagator, AscendingNodeCrossingMovesNorth)
     EXPECT_GT(geocentric_latitude_rad_of(after), 0.0);
 }
 
+TEST(Propagator, BatchedStatesMatchPerCallStates)
+{
+    const j2_propagator prop(circular_orbit(560.0e3, deg2rad(97.6), 0.3, 0.1),
+                             instant::j2000());
+    const instant base = instant::j2000().plus_days(40.0);
+
+    std::vector<double> offsets;
+    for (int i = 0; i < 600; ++i) offsets.push_back(5.0 + 10.0 * i);
+    const auto batched = prop.states_at_many(base, offsets);
+    ASSERT_EQ(batched.size(), offsets.size());
+
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        const auto direct = prop.state_at(base.plus_seconds(offsets[i]));
+        const double pos_scale = direct.position_m.norm();
+        EXPECT_NEAR((batched[i].position_m - direct.position_m).norm(), 0.0,
+                    1e-6 * pos_scale);
+        const double vel_scale = direct.velocity_m_s.norm();
+        EXPECT_NEAR((batched[i].velocity_m_s - direct.velocity_m_s).norm(), 0.0,
+                    1e-6 * vel_scale);
+    }
+}
+
+TEST(Propagator, BatchedStatesOutputSpanValidation)
+{
+    const j2_propagator prop(circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0),
+                             instant::j2000());
+    const std::vector<double> offsets(10, 0.0);
+    std::vector<state_vector> too_small(5);
+    EXPECT_THROW(prop.states_at_offsets(instant::j2000(), offsets, too_small),
+                 contract_violation);
+}
+
 } // namespace
 } // namespace ssplane::astro

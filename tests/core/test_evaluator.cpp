@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/angles.h"
+#include "util/parallel.h"
 
 namespace ssplane::core {
 namespace {
@@ -118,6 +119,66 @@ TEST(Evaluator, SamplingCapRespected)
     const auto day = astro::instant::from_calendar(2014, 3, 15);
     const auto ss = ss_constellation_radiation(cmp.ss, env, day, opts);
     EXPECT_LE(ss.sampled_orbits, 3 + 1);
+}
+
+TEST(WeightedMedian, EmptyInputYieldsZero)
+{
+    EXPECT_EQ(weighted_median({}), 0.0);
+}
+
+TEST(WeightedMedian, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(weighted_median({{7.5, 3.0}}), 7.5);
+    EXPECT_DOUBLE_EQ(weighted_median({{7.5, 0.0}}), 7.5);
+}
+
+TEST(WeightedMedian, OddCountUniformWeights)
+{
+    EXPECT_DOUBLE_EQ(weighted_median({{3.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}}), 2.0);
+}
+
+TEST(WeightedMedian, EvenCountUniformWeights)
+{
+    // Cumulative weight reaches half the total at the lower-middle sample.
+    EXPECT_DOUBLE_EQ(
+        weighted_median({{4.0, 1.0}, {1.0, 1.0}, {3.0, 1.0}, {2.0, 1.0}}), 2.0);
+}
+
+TEST(WeightedMedian, WeightsDominateCounts)
+{
+    // One heavy sample outweighs many light ones.
+    EXPECT_DOUBLE_EQ(
+        weighted_median({{1.0, 0.1}, {2.0, 0.1}, {3.0, 0.1}, {10.0, 10.0}}), 10.0);
+}
+
+TEST(WeightedMedian, ZeroWeightSamplesDoNotShiftTheMedian)
+{
+    EXPECT_DOUBLE_EQ(
+        weighted_median({{0.5, 0.0}, {1.0, 1.0}, {1.5, 0.0}, {2.0, 1.0}, {3.0, 1.0}}),
+        2.0);
+}
+
+TEST(Evaluator, RadiationSummariesIndependentOfThreadCount)
+{
+    // The per-plane fluence fan-out must not change results: fixed chunking
+    // and index-ordered reduction make the parallel path bit-reproducible.
+    walker_baseline_designer designer(fast_wd_options());
+    const auto cmp = compare_designs(coarse_model(), 3.0, designer);
+    const radiation::radiation_environment env;
+    const auto day = astro::instant::from_calendar(2014, 3, 15);
+
+    set_thread_count(1);
+    const auto ss_serial = ss_constellation_radiation(cmp.ss, env, day, fast_rad_options());
+    const auto wd_serial = wd_constellation_radiation(cmp.wd, env, day, fast_rad_options());
+    set_thread_count(4);
+    const auto ss_parallel = ss_constellation_radiation(cmp.ss, env, day, fast_rad_options());
+    const auto wd_parallel = wd_constellation_radiation(cmp.wd, env, day, fast_rad_options());
+    set_thread_count(0);
+
+    EXPECT_DOUBLE_EQ(ss_parallel.median_electron_fluence, ss_serial.median_electron_fluence);
+    EXPECT_DOUBLE_EQ(ss_parallel.median_proton_fluence, ss_serial.median_proton_fluence);
+    EXPECT_DOUBLE_EQ(wd_parallel.median_electron_fluence, wd_serial.median_electron_fluence);
+    EXPECT_DOUBLE_EQ(wd_parallel.median_proton_fluence, wd_serial.median_proton_fluence);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 
 #include "geo/coverage.h"
 #include "util/angles.h"
+#include "util/parallel.h"
 
 namespace ssplane::core {
 namespace {
@@ -143,6 +144,27 @@ TEST(GreedyCover, SwathIsFootprintHalfAngle)
     const auto cov = geo::coverage_geometry::from(problem.altitude_m,
                                                   problem.min_elevation_rad);
     EXPECT_DOUBLE_EQ(result.swath_half_width_rad, cov.earth_central_half_angle_rad);
+}
+
+TEST(GreedyCover, DesignIndependentOfThreadCount)
+{
+    // Candidate scoring fans out to the pool; memoized masks and
+    // index-ordered scores must keep the design bit-identical.
+    const auto problem = coarse_problem(5.0);
+    set_thread_count(1);
+    const auto serial = greedy_ss_cover(problem);
+    set_thread_count(4);
+    const auto parallel = greedy_ss_cover(problem);
+    set_thread_count(0);
+
+    ASSERT_EQ(parallel.planes.size(), serial.planes.size());
+    for (std::size_t i = 0; i < serial.planes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parallel.planes[i].ltan_h, serial.planes[i].ltan_h);
+        EXPECT_DOUBLE_EQ(parallel.planes[i].covered_demand,
+                         serial.planes[i].covered_demand);
+    }
+    EXPECT_EQ(parallel.total_satellites, serial.total_satellites);
+    EXPECT_DOUBLE_EQ(parallel.residual_demand, serial.residual_demand);
 }
 
 } // namespace

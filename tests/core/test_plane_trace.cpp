@@ -127,6 +127,38 @@ TEST(CoverageMask, WiderStreetCoversMore)
     EXPECT_GT(count(deg2rad(1.0)), 0u);
 }
 
+TEST(CoverageMask, SunFrameTableMatchesDirectMask)
+{
+    // The cached-trig table is the greedy designer's hot path; it must
+    // reproduce the direct sun_frame_unit mask cell-for-cell.
+    geo::lat_tod_grid grid(1.0, 0.25);
+    const sun_frame_table table(grid);
+    EXPECT_EQ(table.n_lat(), grid.n_lat());
+    EXPECT_EQ(table.n_tod(), grid.n_tod());
+
+    std::vector<std::uint8_t> from_table;
+    for (const double ltan : {0.7, 6.0, 13.5, 22.25}) {
+        for (const double street_deg : {1.0, 7.25}) {
+            const auto direct = [&] {
+                const vec3 n = plane_normal(k_ss_inclination, ltan);
+                const double sin_c = std::sin(deg2rad(street_deg));
+                std::vector<std::uint8_t> mask(grid.n_lat() * grid.n_tod(), 0);
+                for (std::size_t r = 0; r < grid.n_lat(); ++r)
+                    for (std::size_t c = 0; c < grid.n_tod(); ++c) {
+                        const vec3 p = sun_frame_unit(grid.latitude_center_deg(r),
+                                                      grid.tod_center_h(c));
+                        if (std::abs(n.dot(p)) <= sin_c)
+                            mask[r * grid.n_tod() + c] = 1;
+                    }
+                return mask;
+            }();
+            table.coverage_mask(k_ss_inclination, ltan, deg2rad(street_deg),
+                                from_table);
+            EXPECT_EQ(from_table, direct) << "ltan " << ltan;
+        }
+    }
+}
+
 TEST(CoverageMask, PolarCapsAlwaysUncovered)
 {
     geo::lat_tod_grid grid(0.5, 1.0);

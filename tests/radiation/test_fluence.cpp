@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "astro/frames.h"
+#include "radiation/solar_cycle.h"
 #include "util/angles.h"
 #include "util/expects.h"
+#include "util/parallel.h"
 
 namespace ssplane::radiation {
 namespace {
@@ -79,6 +82,71 @@ TEST(Fluence, DeterministicForSameInputs)
     const auto b = daily_fluence(shared_env(), 560.0e3, deg2rad(53.0), k_day, 1.0, 60.0);
     EXPECT_DOUBLE_EQ(a.electrons_cm2_mev, b.electrons_cm2_mev);
     EXPECT_DOUBLE_EQ(a.protons_cm2_mev, b.protons_cm2_mev);
+}
+
+TEST(Fluence, StepSizeConvergence)
+{
+    // Halving the integration step changes the daily fluence by < 1%: the
+    // midpoint rule has converged at the default step sizes.
+    for (const double inc_deg : {30.0, 65.0, 97.604}) {
+        const auto coarse =
+            daily_fluence(shared_env(), 560.0e3, deg2rad(inc_deg), k_day, 0.0, 20.0);
+        const auto fine =
+            daily_fluence(shared_env(), 560.0e3, deg2rad(inc_deg), k_day, 0.0, 10.0);
+        EXPECT_NEAR(coarse.electrons_cm2_mev / fine.electrons_cm2_mev, 1.0, 0.01);
+        EXPECT_NEAR(coarse.protons_cm2_mev / fine.protons_cm2_mev, 1.0, 0.01);
+    }
+}
+
+TEST(Fluence, PartialFinalStepIntegratesTheExactRemainder)
+{
+    // A single step larger than the whole duration: the integral is the flux
+    // at the interval midpoint times the duration (nothing is dropped even
+    // though a full step would overshoot).
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0), k_day);
+    const double duration_s = 3600.0;
+    const auto integrated =
+        accumulate_fluence(shared_env(), orbit, k_day, duration_s, 1.0e6);
+
+    const astro::instant mid = k_day.plus_seconds(0.5 * duration_s);
+    const vec3 r_ecef = astro::eci_to_ecef(orbit.state_at(mid).position_m, mid);
+    const particle_flux f = shared_env().flux(r_ecef, solar_activity(k_day));
+
+    EXPECT_NEAR(integrated.electrons_cm2_mev, f.electrons_cm2_s_mev * duration_s,
+                1e-6 * f.electrons_cm2_s_mev * duration_s);
+    EXPECT_NEAR(integrated.protons_cm2_mev, f.protons_cm2_s_mev * duration_s,
+                1e-6 * f.protons_cm2_s_mev * duration_s);
+}
+
+TEST(Fluence, NonDivisibleDurationCoversTheTail)
+{
+    // duration = 3.5 steps: the 0.5-step tail must contribute, so extending
+    // the duration strictly increases the accumulated dose.
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(30.0), 0.0, 0.0), k_day);
+    const auto full = accumulate_fluence(shared_env(), orbit, k_day, 3500.0, 1000.0);
+    const auto clipped = accumulate_fluence(shared_env(), orbit, k_day, 3000.0, 1000.0);
+    EXPECT_GT(full.electrons_cm2_mev, clipped.electrons_cm2_mev);
+    // And the tail-inclusive integral tracks a fine-step reference within
+    // the midpoint rule's (coarse) accuracy at a 1000 s step.
+    const auto fine = accumulate_fluence(shared_env(), orbit, k_day, 3500.0, 10.0);
+    EXPECT_NEAR(full.electrons_cm2_mev / fine.electrons_cm2_mev, 1.0, 0.2);
+}
+
+TEST(Fluence, IndependentOfThreadCount)
+{
+    // Fixed chunking + ordered reduction: the parallel integral reproduces
+    // the single-thread result bit-for-bit.
+    const astro::j2_propagator orbit(
+        astro::circular_orbit(560.0e3, deg2rad(65.0), 0.0, 0.0), k_day);
+    set_thread_count(1);
+    const auto serial = accumulate_fluence(shared_env(), orbit, k_day, 86400.0, 10.0);
+    set_thread_count(4);
+    const auto parallel = accumulate_fluence(shared_env(), orbit, k_day, 86400.0, 10.0);
+    set_thread_count(0);
+    EXPECT_DOUBLE_EQ(parallel.electrons_cm2_mev, serial.electrons_cm2_mev);
+    EXPECT_DOUBLE_EQ(parallel.protons_cm2_mev, serial.protons_cm2_mev);
 }
 
 TEST(Fluence, InputValidation)
