@@ -20,6 +20,7 @@
 #include "demand/population.h"
 #include "geo/coverage.h"
 #include "lsn/routing.h"
+#include "lsn/scenario.h"
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
 #include "util/angles.h"
@@ -109,6 +110,66 @@ void bm_greedy_small(benchmark::State& state)
     }
 }
 BENCHMARK(bm_greedy_small)->Unit(benchmark::kMillisecond);
+
+/// 40x40 Walker grid shared by the scenario-sweep benches.
+const lsn::lsn_topology& bench_walker_grid()
+{
+    static const lsn::lsn_topology topo = [] {
+        constellation::walker_parameters p;
+        p.altitude_m = 550.0e3;
+        p.inclination_rad = deg2rad(53.0);
+        p.n_planes = 40;
+        p.sats_per_plane = 40;
+        p.phasing_f = 1;
+        return lsn::build_walker_grid_topology(p);
+    }();
+    return topo;
+}
+
+constexpr double sweep_step_s = 3600.0; // hourly steps over one day
+
+void bm_scenario_sweep(benchmark::State& state)
+{
+    // 12-station all-pairs day sweep on the 40x40 grid through the batched
+    // engine: one propagation pass, one snapshot and 11 Dijkstra sources per
+    // step.
+    const auto& topo = bench_walker_grid();
+    const auto stations = lsn::default_ground_stations();
+    lsn::scenario_sweep_options opts;
+    opts.step_s = sweep_step_s;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lsn::run_scenario_sweep(topo, stations, astro::instant::j2000(), {}, opts));
+    }
+}
+BENCHMARK(bm_scenario_sweep)->Unit(benchmark::kMillisecond);
+
+void bm_scenario_sweep_baseline(benchmark::State& state)
+{
+    // The pre-engine route to the same all-pairs day sweep: one time loop
+    // per station pair (as simulate_pair_latency used to run), every step
+    // rebuilding the snapshot from scratch through snapshot_at with its
+    // per-call propagator construction.
+    const auto& topo = bench_walker_grid();
+    const auto stations = lsn::default_ground_stations();
+    const auto epoch = astro::instant::j2000();
+    const int n = static_cast<int>(stations.size());
+    for (auto _ : state) {
+        double total_latency = 0.0;
+        for (int a = 0; a + 1 < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                for (double t_off = 0.0; t_off < 86400.0; t_off += sweep_step_s) {
+                    const auto snap = lsn::snapshot_at(
+                        topo, stations, epoch, epoch.plus_seconds(t_off), deg2rad(30.0));
+                    const auto route = lsn::ground_route(snap, a, b);
+                    if (route.reachable) total_latency += route.latency_s;
+                }
+            }
+        }
+        benchmark::DoNotOptimize(total_latency);
+    }
+}
+BENCHMARK(bm_scenario_sweep_baseline)->Unit(benchmark::kMillisecond);
 
 void bm_dijkstra(benchmark::State& state)
 {

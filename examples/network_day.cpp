@@ -1,12 +1,20 @@
 // A day in the life of an SS-plane network: design a constellation, wire
-// its ISLs, and follow routing latency and coverage through 24 hours
-// (paper §5: time-aware topology/routing evaluation).
+// its ISLs, follow routing latency and coverage through 24 hours, then
+// stress the network with failure scenarios — random loss, whole-plane
+// attack, and radiation-driven Poisson failures fed by each plane's daily
+// fluence (paper §2.1 survivability, §5 time-aware evaluation).
 //
-// Usage: network_day [--bandwidth=10] [--pairs=4]
+// Usage: network_day [--bandwidth=10] [--sweep-step=1800] [--seed=1]
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "constellation/sun_sync.h"
 #include "core/greedy_cover.h"
+#include "lsn/scenario.h"
 #include "lsn/simulator.h"
+#include "radiation/fluence.h"
+#include "util/angles.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -64,5 +72,79 @@ int main(int argc, char** argv)
                  format_number(lsn::coverage_fraction(topology, gs, epoch, sim), 4)});
     }
     cov.print(std::cout);
+
+    // --- Failure-scenario sweep: how does the same day look as satellites
+    // fail? Giant-component fraction tracks topological fragmentation; the
+    // all-pairs reachability and p95 inflation track user-visible service.
+    const auto seed = static_cast<std::uint64_t>(args.get_double("seed", 1.0));
+    lsn::scenario_sweep_options sweep;
+    sweep.duration_s = 86400.0;
+    sweep.step_s = args.get_double("sweep-step", 1800.0);
+
+    // Per-plane daily electron fluence drives the radiation scenario: each
+    // designed plane flies at its own altitude, so doses differ per plane.
+    const radiation::radiation_environment env;
+    std::vector<double> plane_fluence;
+    plane_fluence.reserve(planes.size());
+    for (const auto& p : planes) {
+        const double incl = constellation::sun_synchronous_inclination_rad(p.altitude_m)
+                                .value_or(deg2rad(97.5));
+        plane_fluence.push_back(
+            radiation::daily_fluence(env, p.altitude_m, incl, epoch, 0.0, 60.0)
+                .electrons_cm2_mev);
+    }
+
+    struct named_scenario {
+        std::string name;
+        lsn::failure_scenario scenario;
+    };
+    std::vector<named_scenario> scenarios;
+    scenarios.push_back({"baseline", {}});
+    {
+        lsn::failure_scenario s;
+        s.mode = lsn::failure_mode::random_loss;
+        s.loss_fraction = 0.1;
+        s.seed = seed;
+        scenarios.push_back({"random 10%", s});
+        s.loss_fraction = 0.3;
+        scenarios.push_back({"random 30%", s});
+    }
+    {
+        lsn::failure_scenario s;
+        s.mode = lsn::failure_mode::plane_attack;
+        s.planes_attacked = std::min<int>(2, static_cast<int>(planes.size()));
+        s.seed = seed;
+        scenarios.push_back({"plane attack x" + std::to_string(s.planes_attacked), s});
+    }
+    {
+        lsn::failure_scenario s;
+        s.mode = lsn::failure_mode::radiation_poisson;
+        s.plane_daily_fluence = plane_fluence;
+        s.horizon_days = 5.0 * 365.25; // mission-length exposure
+        s.seed = seed;
+        scenarios.push_back({"radiation 5y", s});
+    }
+
+    std::cout << "\nfailure-scenario sweep (" << sweep.duration_s / 3600.0 << " h, step "
+              << sweep.step_s << " s):\n";
+    table_printer st({"scenario", "failed", "giant_frac", "reach_frac", "mean_ms",
+                      "p95_ms", "p95_inflation"});
+    // One builder + one batched propagation pass serve all scenarios.
+    const lsn::snapshot_builder builder(topology, stations, epoch,
+                                        sweep.min_elevation_rad, sweep.max_isl_range_m);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+    lsn::scenario_sweep_result baseline;
+    for (const auto& [name, scenario] : scenarios) {
+        const auto result = lsn::run_scenario_sweep(builder, offsets, positions, scenario);
+        if (name == "baseline") baseline = result;
+        st.row({name, std::to_string(result.metrics.n_failed),
+                format_number(result.metrics.giant_component_fraction, 4),
+                format_number(result.metrics.pair_reachable_fraction, 4),
+                format_number(result.metrics.mean_latency_ms, 5),
+                format_number(result.metrics.p95_latency_ms, 5),
+                format_number(lsn::p95_latency_inflation(baseline, result), 4)});
+    }
+    st.print(std::cout);
     return 0;
 }

@@ -46,7 +46,12 @@ geodetic ecef_to_geodetic(const vec3& r) noexcept
 
 vec3 eci_to_ecef(const vec3& r_eci, const instant& t) noexcept
 {
-    return rotate_z(r_eci, -gmst_rad(t));
+    return eci_to_ecef_at_gmst(r_eci, gmst_rad(t));
+}
+
+vec3 eci_to_ecef_at_gmst(const vec3& r_eci, double gmst) noexcept
+{
+    return rotate_z(r_eci, -gmst);
 }
 
 vec3 ecef_to_eci(const vec3& r_ecef, const instant& t) noexcept
@@ -79,9 +84,13 @@ sun_relative geodetic_to_sun_relative(const geodetic& g, const instant& t) noexc
 
 double elevation_angle_rad(const geodetic& ground, const vec3& sat_ecef) noexcept
 {
-    const vec3 site = geodetic_to_ecef(ground);
-    const vec3 to_sat = sat_ecef - site;
-    const vec3 up = site.normalized(); // geocentric up; adequate for coverage tests
+    return elevation_angle_rad(geodetic_to_ecef(ground), sat_ecef);
+}
+
+double elevation_angle_rad(const vec3& site_ecef, const vec3& sat_ecef) noexcept
+{
+    const vec3 to_sat = sat_ecef - site_ecef;
+    const vec3 up = site_ecef.normalized(); // geocentric up; adequate for coverage tests
     const double range = to_sat.norm();
     if (range == 0.0) return pi / 2.0;
     return safe_asin(up.dot(to_sat) / range);

@@ -37,6 +37,10 @@ geodetic ecef_to_geodetic(const vec3& r_ecef) noexcept;
 /// ECI -> ECEF at time `t` (rotation by GMST about the z axis).
 vec3 eci_to_ecef(const vec3& r_eci, const instant& t) noexcept;
 
+/// ECI -> ECEF with a precomputed GMST angle: batched sweeps evaluate
+/// `gmst_rad(t)` once per time step and rotate every satellite with it.
+vec3 eci_to_ecef_at_gmst(const vec3& r_eci, double gmst) noexcept;
+
 /// ECEF -> ECI at time `t`.
 vec3 ecef_to_eci(const vec3& r_ecef, const instant& t) noexcept;
 
@@ -53,6 +57,10 @@ double geocentric_latitude_rad(const vec3& r) noexcept;
 /// from ground point `ground` (spherical-Earth observer geometry on the
 /// ellipsoidal ground position; accurate to small fractions of a degree).
 double elevation_angle_rad(const geodetic& ground, const vec3& sat_ecef) noexcept;
+
+/// Same elevation with the observer's ECEF position precomputed, so sweep
+/// loops hoist the geodetic conversion out of the per-satellite test.
+double elevation_angle_rad(const vec3& site_ecef, const vec3& sat_ecef) noexcept;
 
 } // namespace ssplane::astro
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "util/expects.h"
@@ -40,8 +42,8 @@ sparing_result simulate_plane_availability(int sats_per_plane, int spares,
         int spare_pool = spares;
         double slot_downtime = 0.0;
         int failures = 0;
-        // Pending restock arrival times (launches), earliest first.
-        std::vector<double> restocks;
+        // Pending restock arrival times (launches), min-heap on arrival.
+        std::priority_queue<double, std::vector<double>, std::greater<>> restocks;
 
         // Each active slot fails as an independent Poisson process; walk
         // events in time using the aggregate rate over active slots.
@@ -53,17 +55,16 @@ sparing_result simulate_plane_availability(int sats_per_plane, int spares,
             ++failures;
 
             // Apply any restocks that arrived before this failure.
-            while (!restocks.empty() && restocks.front() <= t) {
+            while (!restocks.empty() && restocks.top() <= t) {
                 ++spare_pool;
-                restocks.erase(restocks.begin());
+                restocks.pop();
             }
 
             if (spare_pool > 0) {
                 --spare_pool;
                 slot_downtime += std::min(options.spare_drift_days, mission_days - t);
                 // The consumed spare is replaced by a launch.
-                restocks.push_back(t + options.launch_lead_days);
-                std::sort(restocks.begin(), restocks.end());
+                restocks.push(t + options.launch_lead_days);
             } else {
                 slot_downtime += std::min(options.launch_lead_days, mission_days - t);
             }
@@ -92,9 +93,12 @@ sparing_result spares_for_availability(int sats_per_plane, double annual_rate,
     for (int spares = 0; spares <= 32; ++spares) {
         last = simulate_plane_availability(sats_per_plane, spares, annual_rate,
                                            options, seed, n_trials);
-        if (last.availability >= target_availability) return last;
+        if (last.availability >= target_availability) {
+            last.target_met = true;
+            return last;
+        }
     }
-    return last;
+    return last; // target unreachable even at the cap: target_met stays false
 }
 
 } // namespace ssplane::lsn

@@ -33,6 +33,11 @@ struct sparing_result {
     int spares = 0;           ///< Spares per plane used.
     double availability = 0.0;///< Mean fraction of slots populated over mission.
     double expected_failures_per_plane = 0.0;
+    /// Set by `spares_for_availability`: true when the returned spare count
+    /// actually reaches the requested availability. False means the search
+    /// hit its 32-spare cap and the target is unreachable — callers must not
+    /// read the result as a successful provisioning plan.
+    bool target_met = false;
 };
 
 /// Monte-Carlo availability of a plane of `sats_per_plane` active slots with
@@ -44,6 +49,9 @@ sparing_result simulate_plane_availability(int sats_per_plane, int spares,
                                            int n_trials = 256);
 
 /// Minimum spares per plane reaching `target_availability` (caps at 32).
+/// When even 32 spares miss the target — e.g. the per-failure drift downtime
+/// alone exceeds the allowed outage budget — the 32-spare result is returned
+/// with `target_met == false`.
 sparing_result spares_for_availability(int sats_per_plane, double annual_rate,
                                        double target_availability,
                                        const failure_model_options& options,

@@ -8,15 +8,18 @@
 
 namespace ssplane::lsn {
 
-route_result shortest_route(const network_snapshot& snapshot, int src_node, int dst_node)
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra core shared by the point-to-point and single-source queries.
+/// Stops as soon as `dst_node` is settled unless `dst_node < 0` (full pass).
+void dijkstra(const network_snapshot& snapshot, int src_node, int dst_node,
+              std::vector<double>& dist, std::vector<int>& prev)
 {
     const auto n = snapshot.adjacency.size();
-    expects(src_node >= 0 && static_cast<std::size_t>(src_node) < n, "bad source node");
-    expects(dst_node >= 0 && static_cast<std::size_t>(dst_node) < n, "bad destination node");
-
-    constexpr double inf = std::numeric_limits<double>::infinity();
-    std::vector<double> dist(n, inf);
-    std::vector<int> prev(n, -1);
+    dist.assign(n, inf);
+    prev.assign(n, -1);
     using queue_item = std::pair<double, int>; // (distance, node)
     std::priority_queue<queue_item, std::vector<queue_item>, std::greater<>> queue;
 
@@ -36,6 +39,19 @@ route_result shortest_route(const network_snapshot& snapshot, int src_node, int 
             }
         }
     }
+}
+
+} // namespace
+
+route_result shortest_route(const network_snapshot& snapshot, int src_node, int dst_node)
+{
+    const auto n = snapshot.adjacency.size();
+    expects(src_node >= 0 && static_cast<std::size_t>(src_node) < n, "bad source node");
+    expects(dst_node >= 0 && static_cast<std::size_t>(dst_node) < n, "bad destination node");
+
+    std::vector<double> dist;
+    std::vector<int> prev;
+    dijkstra(snapshot, src_node, dst_node, dist, prev);
 
     route_result result;
     if (dist[static_cast<std::size_t>(dst_node)] == inf) return result;
@@ -46,6 +62,18 @@ route_result shortest_route(const network_snapshot& snapshot, int src_node, int 
     std::reverse(result.path.begin(), result.path.end());
     result.hops = static_cast<int>(result.path.size()) - 1;
     return result;
+}
+
+std::vector<double> single_source_latencies(const network_snapshot& snapshot,
+                                            int src_node)
+{
+    expects(src_node >= 0 &&
+                static_cast<std::size_t>(src_node) < snapshot.adjacency.size(),
+            "bad source node");
+    std::vector<double> dist;
+    std::vector<int> prev;
+    dijkstra(snapshot, src_node, -1, dist, prev);
+    return dist;
 }
 
 route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b)

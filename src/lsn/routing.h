@@ -19,6 +19,12 @@ struct route_result {
 /// Dijkstra shortest path by latency between two nodes of a snapshot.
 route_result shortest_route(const network_snapshot& snapshot, int src_node, int dst_node);
 
+/// Shortest one-way latency from `src_node` to every node in one Dijkstra
+/// pass (infinity = unreachable) — the all-pairs primitive of the scenario
+/// sweep engine: one source per ground station covers the whole matrix.
+std::vector<double> single_source_latencies(const network_snapshot& snapshot,
+                                            int src_node);
+
 /// Convenience: route between two ground stations by index.
 route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b);
 

@@ -1,0 +1,384 @@
+#include "lsn/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "astro/constants.h"
+#include "lsn/routing.h"
+#include "util/expects.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ssplane::lsn {
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Mark `k` distinct indices out of `n` via a partial Fisher-Yates shuffle.
+std::vector<int> draw_distinct(int n, int k, rng& r)
+{
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    for (int j = 0; j < k; ++j) {
+        const auto pick = static_cast<std::size_t>(r.uniform_int(j, n - 1));
+        std::swap(idx[static_cast<std::size_t>(j)], idx[pick]);
+    }
+    idx.resize(static_cast<std::size_t>(k));
+    return idx;
+}
+
+/// Index of unordered station pair (a, b), a < b, in (0,1), (0,2), ... order.
+std::size_t pair_index(int a, int b, int n)
+{
+    return static_cast<std::size_t>(a * n - a * (a + 1) / 2 + (b - a - 1));
+}
+
+} // namespace
+
+snapshot_builder::snapshot_builder(const lsn_topology& topology,
+                                   std::vector<ground_station> stations,
+                                   const astro::instant& epoch,
+                                   double min_elevation_rad,
+                                   double max_isl_range_m)
+    : topology_(&topology),
+      stations_(std::move(stations)),
+      epoch_(epoch),
+      min_elevation_rad_(min_elevation_rad),
+      max_isl_range_m_(max_isl_range_m)
+{
+    expects(max_isl_range_m > 0.0, "ISL range must be positive");
+    propagators_.reserve(topology.satellites.size());
+    for (const auto& sat : topology.satellites)
+        propagators_.emplace_back(sat.elements, epoch);
+    ground_ecef_.reserve(stations_.size());
+    for (const auto& gs : stations_)
+        ground_ecef_.push_back(astro::geodetic_to_ecef(
+            {gs.latitude_deg, gs.longitude_deg, 0.0}));
+}
+
+network_snapshot snapshot_builder::snapshot(
+    double offset_s, const std::vector<std::uint8_t>& failed) const
+{
+    std::vector<vec3> sat_positions(propagators_.size());
+    const double gmst = astro::gmst_rad(epoch_.plus_seconds(offset_s));
+    const std::span<const double> offset(&offset_s, 1);
+    astro::state_vector state;
+    for (std::size_t s = 0; s < propagators_.size(); ++s) {
+        propagators_[s].states_at_offsets(epoch_, offset, {&state, 1});
+        sat_positions[s] = astro::eci_to_ecef_at_gmst(state.position_m, gmst);
+    }
+    return snapshot_from_positions(sat_positions, failed);
+}
+
+std::vector<std::vector<vec3>> snapshot_builder::positions_at_offsets(
+    std::span<const double> offsets_s) const
+{
+    const std::size_t n_steps = offsets_s.size();
+    const std::size_t n_sats = propagators_.size();
+    std::vector<double> gmst(n_steps);
+    for (std::size_t i = 0; i < n_steps; ++i)
+        gmst[i] = astro::gmst_rad(epoch_.plus_seconds(offsets_s[i]));
+
+    std::vector<std::vector<vec3>> out(n_steps, std::vector<vec3>(n_sats));
+    parallel_for(n_sats, [&](std::size_t begin, std::size_t end) {
+        std::vector<astro::state_vector> states(n_steps);
+        for (std::size_t s = begin; s < end; ++s) {
+            propagators_[s].states_at_offsets(epoch_, offsets_s, states);
+            for (std::size_t i = 0; i < n_steps; ++i)
+                out[i][s] = astro::eci_to_ecef_at_gmst(states[i].position_m, gmst[i]);
+        }
+    });
+    return out;
+}
+
+network_snapshot snapshot_builder::snapshot_from_positions(
+    const std::vector<vec3>& sat_positions_ecef,
+    const std::vector<std::uint8_t>& failed) const
+{
+    expects(sat_positions_ecef.size() == propagators_.size(),
+            "positions/satellite count mismatch");
+    expects(failed.empty() || failed.size() == propagators_.size(),
+            "failure mask size mismatch");
+    const auto is_failed = [&](int s) {
+        return !failed.empty() && failed[static_cast<std::size_t>(s)] != 0;
+    };
+
+    network_snapshot snap;
+    snap.n_satellites = n_satellites();
+    snap.n_ground = n_ground();
+    snap.positions_ecef_m.reserve(sat_positions_ecef.size() + ground_ecef_.size());
+    snap.positions_ecef_m.insert(snap.positions_ecef_m.end(),
+                                 sat_positions_ecef.begin(), sat_positions_ecef.end());
+    snap.positions_ecef_m.insert(snap.positions_ecef_m.end(), ground_ecef_.begin(),
+                                 ground_ecef_.end());
+    snap.adjacency.resize(snap.positions_ecef_m.size());
+
+    const auto add_edge = [&](int a, int b, double distance_m) {
+        const double latency = distance_m / astro::speed_of_light_m_s;
+        snap.adjacency[static_cast<std::size_t>(a)].push_back({b, latency});
+        snap.adjacency[static_cast<std::size_t>(b)].push_back({a, latency});
+    };
+
+    for (const auto& link : topology_->links) {
+        if (is_failed(link.a) || is_failed(link.b)) continue;
+        const double d = (snap.positions_ecef_m[static_cast<std::size_t>(link.a)] -
+                          snap.positions_ecef_m[static_cast<std::size_t>(link.b)]).norm();
+        if (d <= max_isl_range_m_) add_edge(link.a, link.b, d);
+    }
+
+    for (int g = 0; g < snap.n_ground; ++g) {
+        const int gs_node = snap.ground_node(g);
+        const vec3& site = ground_ecef_[static_cast<std::size_t>(g)];
+        for (int s = 0; s < snap.n_satellites; ++s) {
+            if (is_failed(s)) continue;
+            const vec3& sat = snap.positions_ecef_m[static_cast<std::size_t>(s)];
+            if (astro::elevation_angle_rad(site, sat) >= min_elevation_rad_)
+                add_edge(gs_node, s, (sat - site).norm());
+        }
+    }
+    return snap;
+}
+
+std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
+                                          const failure_scenario& scenario)
+{
+    const int n = static_cast<int>(topology.satellites.size());
+    std::vector<std::uint8_t> failed(static_cast<std::size_t>(n), 0);
+    rng r(scenario.seed);
+
+    switch (scenario.mode) {
+    case failure_mode::none:
+        break;
+
+    case failure_mode::random_loss: {
+        expects(scenario.loss_fraction >= 0.0 && scenario.loss_fraction <= 1.0,
+                "loss fraction must be in [0, 1]");
+        const int k = static_cast<int>(std::lround(scenario.loss_fraction * n));
+        for (const int i : draw_distinct(n, k, r))
+            failed[static_cast<std::size_t>(i)] = 1;
+        break;
+    }
+
+    case failure_mode::plane_attack: {
+        int n_planes = 0;
+        for (const auto& sat : topology.satellites)
+            n_planes = std::max(n_planes, sat.plane + 1);
+        expects(scenario.planes_attacked >= 0 && scenario.planes_attacked <= n_planes,
+                "planes_attacked must be in [0, n_planes]");
+        const auto attacked =
+            draw_distinct(n_planes, scenario.planes_attacked, r);
+        std::vector<std::uint8_t> plane_hit(static_cast<std::size_t>(n_planes), 0);
+        for (const int p : attacked) plane_hit[static_cast<std::size_t>(p)] = 1;
+        for (int i = 0; i < n; ++i)
+            failed[static_cast<std::size_t>(i)] =
+                plane_hit[static_cast<std::size_t>(topology.satellites
+                                                       [static_cast<std::size_t>(i)]
+                                                           .plane)];
+        break;
+    }
+
+    case failure_mode::radiation_poisson: {
+        expects(scenario.horizon_days >= 0.0, "horizon must be non-negative");
+        for (int i = 0; i < n; ++i) {
+            const int plane = topology.satellites[static_cast<std::size_t>(i)].plane;
+            expects(static_cast<std::size_t>(plane) < scenario.plane_daily_fluence.size(),
+                    "plane_daily_fluence must cover every plane index");
+            const double rate = annual_failure_rate(
+                scenario.plane_daily_fluence[static_cast<std::size_t>(plane)],
+                scenario.failure_options);
+            const double p_fail =
+                1.0 - std::exp(-rate * scenario.horizon_days / 365.25);
+            failed[static_cast<std::size_t>(i)] = r.bernoulli(p_fail) ? 1 : 0;
+        }
+        break;
+    }
+    }
+    return failed;
+}
+
+double giant_component_fraction(const network_snapshot& snapshot,
+                                const std::vector<std::uint8_t>& failed)
+{
+    const int n = snapshot.n_satellites;
+    if (n == 0) return 0.0;
+    expects(failed.empty() || failed.size() == static_cast<std::size_t>(n),
+            "failure mask size mismatch");
+    const auto alive = [&](int s) {
+        return failed.empty() || failed[static_cast<std::size_t>(s)] == 0;
+    };
+
+    std::vector<int> parent(static_cast<std::size_t>(n));
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&](int v) {
+        while (parent[static_cast<std::size_t>(v)] != v) {
+            parent[static_cast<std::size_t>(v)] =
+                parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+            v = parent[static_cast<std::size_t>(v)];
+        }
+        return v;
+    };
+
+    for (int u = 0; u < n; ++u) {
+        if (!alive(u)) continue;
+        for (const auto& e : snapshot.adjacency[static_cast<std::size_t>(u)]) {
+            if (e.to >= n || !alive(e.to)) continue; // ground links don't join sats
+            const int ru = find(u);
+            const int rv = find(e.to);
+            if (ru != rv) parent[static_cast<std::size_t>(ru)] = rv;
+        }
+    }
+
+    std::vector<int> component_size(static_cast<std::size_t>(n), 0);
+    int largest = 0;
+    for (int u = 0; u < n; ++u) {
+        if (!alive(u)) continue;
+        const int root = find(u);
+        largest = std::max(largest, ++component_size[static_cast<std::size_t>(root)]);
+    }
+    return static_cast<double>(largest) / n;
+}
+
+std::vector<double> sweep_offsets(double duration_s, double step_s)
+{
+    expects(step_s > 0.0, "sweep step must be positive");
+    std::vector<double> offsets;
+    for (double t_off = 0.0; t_off < duration_s; t_off += step_s)
+        offsets.push_back(t_off);
+    return offsets;
+}
+
+network_snapshot snapshot_at(const lsn_topology& topology,
+                             const std::vector<ground_station>& stations,
+                             const astro::instant& epoch,
+                             const astro::instant& t,
+                             double min_elevation_rad,
+                             double max_isl_range_m)
+{
+    // One-shot builder: this path still pays per-call propagator
+    // construction; sweeps amortize it by keeping a snapshot_builder alive.
+    return snapshot_builder(topology, stations, epoch, min_elevation_rad,
+                            max_isl_range_m)
+        .snapshot(t.seconds_since(epoch));
+}
+
+scenario_sweep_result run_scenario_sweep(const lsn_topology& topology,
+                                         const std::vector<ground_station>& stations,
+                                         const astro::instant& epoch,
+                                         const failure_scenario& scenario,
+                                         const scenario_sweep_options& options)
+{
+    const snapshot_builder builder(topology, stations, epoch,
+                                   options.min_elevation_rad, options.max_isl_range_m);
+    const auto offsets = sweep_offsets(options.duration_s, options.step_s);
+    return run_scenario_sweep(builder, offsets, builder.positions_at_offsets(offsets),
+                              scenario);
+}
+
+scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
+                                         std::span<const double> offsets_s,
+                                         const std::vector<std::vector<vec3>>& positions,
+                                         const failure_scenario& scenario)
+{
+    expects(positions.size() == offsets_s.size(),
+            "positions must cover every sweep offset");
+    const auto failed = sample_failures(builder.topology(), scenario);
+
+    const int n_steps = static_cast<int>(offsets_s.size());
+    const int n_ground = builder.n_ground();
+    const int n_pairs = n_ground * (n_ground - 1) / 2;
+
+    // Per-step result slots: each step writes only its own entry, so chunking
+    // never affects the outcome and the serial reduction below is
+    // bit-identical for any thread count.
+    struct step_result {
+        double giant_fraction = 0.0;
+        std::vector<double> pair_latency_s; ///< inf = unreachable.
+    };
+    std::vector<step_result> per_step(static_cast<std::size_t>(n_steps));
+    parallel_for(static_cast<std::size_t>(n_steps),
+                 [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                         auto& slot = per_step[i];
+                         const auto snap =
+                             builder.snapshot_from_positions(positions[i], failed);
+                         slot.giant_fraction = giant_component_fraction(snap, failed);
+                         slot.pair_latency_s.assign(static_cast<std::size_t>(n_pairs),
+                                                    inf);
+                         for (int a = 0; a + 1 < n_ground; ++a) {
+                             const auto dist =
+                                 single_source_latencies(snap, snap.ground_node(a));
+                             for (int b = a + 1; b < n_ground; ++b)
+                                 slot.pair_latency_s[pair_index(a, b, n_ground)] =
+                                     dist[static_cast<std::size_t>(snap.ground_node(b))];
+                         }
+                     }
+                 });
+
+    scenario_sweep_result result;
+    result.n_stations = n_ground;
+    result.n_steps = n_steps;
+    result.pair_reachable_fraction.assign(
+        static_cast<std::size_t>(n_ground) * static_cast<std::size_t>(n_ground), 0.0);
+    result.pair_mean_latency_ms.assign(
+        static_cast<std::size_t>(n_ground) * static_cast<std::size_t>(n_ground), 0.0);
+
+    std::vector<int> reach_count(static_cast<std::size_t>(n_pairs), 0);
+    std::vector<double> latency_sum_ms(static_cast<std::size_t>(n_pairs), 0.0);
+    std::vector<double> pooled_ms; // (step, pair) order — deterministic
+    double giant_sum = 0.0;
+    for (const auto& step : per_step) {
+        giant_sum += step.giant_fraction;
+        for (std::size_t k = 0; k < step.pair_latency_s.size(); ++k) {
+            const double latency_s = step.pair_latency_s[k];
+            if (latency_s == inf) continue;
+            ++reach_count[k];
+            latency_sum_ms[k] += latency_s * 1000.0;
+            pooled_ms.push_back(latency_s * 1000.0);
+        }
+    }
+
+    long total_reachable = 0;
+    for (int a = 0; a + 1 < n_ground; ++a) {
+        for (int b = a + 1; b < n_ground; ++b) {
+            const std::size_t k = pair_index(a, b, n_ground);
+            total_reachable += reach_count[k];
+            const double reach_frac =
+                n_steps > 0 ? static_cast<double>(reach_count[k]) / n_steps : 0.0;
+            const double mean_ms =
+                reach_count[k] > 0 ? latency_sum_ms[k] / reach_count[k] : 0.0;
+            const auto ab = static_cast<std::size_t>(a * n_ground + b);
+            const auto ba = static_cast<std::size_t>(b * n_ground + a);
+            result.pair_reachable_fraction[ab] = reach_frac;
+            result.pair_reachable_fraction[ba] = reach_frac;
+            result.pair_mean_latency_ms[ab] = mean_ms;
+            result.pair_mean_latency_ms[ba] = mean_ms;
+        }
+    }
+
+    auto& m = result.metrics;
+    m.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    m.giant_component_fraction = n_steps > 0 ? giant_sum / n_steps : 0.0;
+    m.pair_reachable_fraction =
+        n_pairs > 0 && n_steps > 0
+            ? static_cast<double>(total_reachable) / (static_cast<double>(n_pairs) * n_steps)
+            : 0.0;
+    if (!pooled_ms.empty()) {
+        m.mean_latency_ms = mean(pooled_ms);
+        m.p95_latency_ms = percentile(pooled_ms, 95.0);
+    }
+    return result;
+}
+
+double p95_latency_inflation(const scenario_sweep_result& baseline,
+                             const scenario_sweep_result& scenario)
+{
+    if (baseline.metrics.p95_latency_ms <= 0.0 || scenario.metrics.p95_latency_ms <= 0.0)
+        return 0.0;
+    return scenario.metrics.p95_latency_ms / baseline.metrics.p95_latency_ms;
+}
+
+} // namespace ssplane::lsn

@@ -1,0 +1,178 @@
+// Scenario-sweep network survivability engine (paper §2.1, §5(2)/(3)).
+//
+// The survivability half of the paper asks how an LSN behaves as satellites
+// fail. This module provides the machinery to answer it at scale:
+//
+//   * `snapshot_builder` hoists per-satellite propagator construction and
+//     ground-site geometry out of the per-step path and sweeps whole time
+//     grids through `j2_propagator::states_at_offsets` (one GMST evaluation
+//     per step, batched element advances per satellite);
+//   * `failure_scenario`/`sample_failures` inject satellite loss: uniform
+//     random loss, whole-plane attack, and radiation-driven Poisson failures
+//     wired to the `failures.h` annual-rate model via per-plane fluence;
+//   * `run_scenario_sweep` fans the per-step snapshot + routing work over
+//     the process thread pool (`util/parallel`) with per-step result slots,
+//     so any `SSPLANE_THREADS` value reproduces identical metrics, and
+//     reduces to robustness metrics: giant-component fraction, the all-pairs
+//     ground-station reachability/latency matrix, and pooled latency
+//     statistics comparable against an unfailed baseline.
+#ifndef SSPLANE_LSN_SCENARIO_H
+#define SSPLANE_LSN_SCENARIO_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "astro/propagator.h"
+#include "lsn/failures.h"
+#include "lsn/topology.h"
+
+namespace ssplane::lsn {
+
+/// Reusable snapshot factory. Propagators, ground geodetics and ground ECEF
+/// sites are derived once at construction; each time slice then costs one
+/// batched element advance per satellite plus the geometry tests. The
+/// topology must outlive the builder (it is referenced, not copied).
+class snapshot_builder {
+public:
+    snapshot_builder(const lsn_topology& topology,
+                     std::vector<ground_station> stations,
+                     const astro::instant& epoch,
+                     double min_elevation_rad,
+                     double max_isl_range_m = 6.0e6);
+
+    int n_satellites() const noexcept { return static_cast<int>(propagators_.size()); }
+    int n_ground() const noexcept { return static_cast<int>(stations_.size()); }
+    const astro::instant& epoch() const noexcept { return epoch_; }
+    const lsn_topology& topology() const noexcept { return *topology_; }
+
+    /// Graph at `epoch + offset_s`. `failed` (when non-empty; size
+    /// n_satellites, nonzero = failed) keeps the satellite's node but gives
+    /// it no edges: the slot is dead, the constellation geometry unchanged.
+    network_snapshot snapshot(double offset_s,
+                              const std::vector<std::uint8_t>& failed = {}) const;
+
+    /// Satellite ECEF positions for a whole time grid in one batched
+    /// propagation sweep: result[step][satellite]. Parallelized over
+    /// satellites; identical for any thread count.
+    std::vector<std::vector<vec3>> positions_at_offsets(
+        std::span<const double> offsets_s) const;
+
+    /// Graph assembled from one step of `positions_at_offsets` output — the
+    /// per-step path of the sweep engine.
+    network_snapshot snapshot_from_positions(
+        const std::vector<vec3>& sat_positions_ecef,
+        const std::vector<std::uint8_t>& failed = {}) const;
+
+private:
+    const lsn_topology* topology_;
+    std::vector<ground_station> stations_;
+    astro::instant epoch_;
+    double min_elevation_rad_;
+    double max_isl_range_m_;
+    std::vector<astro::j2_propagator> propagators_;
+    std::vector<vec3> ground_ecef_;
+};
+
+/// How satellites are removed from the network.
+enum class failure_mode {
+    none,              ///< Unfailed baseline.
+    random_loss,       ///< `loss_fraction` of satellites, drawn uniformly.
+    plane_attack,      ///< `planes_attacked` whole planes, drawn uniformly.
+    radiation_poisson, ///< Per-satellite Poisson failures from plane fluence.
+};
+
+/// One failure scenario. Fields are read per `mode`; `seed` makes every
+/// draw reproducible.
+struct failure_scenario {
+    failure_mode mode = failure_mode::none;
+    double loss_fraction = 0.0; ///< random_loss: fraction of satellites in [0, 1].
+    int planes_attacked = 0;    ///< plane_attack: whole planes removed.
+    /// radiation_poisson: daily electron fluence per plane index
+    /// [#/cm^2/MeV], fed through `annual_failure_rate`.
+    std::vector<double> plane_daily_fluence;
+    double horizon_days = 365.25; ///< radiation_poisson: exposure window.
+    failure_model_options failure_options{}; ///< radiation_poisson: rate map.
+    std::uint64_t seed = 0;
+};
+
+/// Draw the failed-satellite mask for a scenario (size n_satellites,
+/// 1 = failed). Deterministic in `scenario.seed`.
+std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
+                                          const failure_scenario& scenario);
+
+/// Fraction of *all* satellites inside the largest ISL-connected component
+/// (ground nodes and ground links excluded). Satellites flagged in `failed`
+/// never join a component, so the fraction reflects both fragmentation and
+/// raw loss.
+double giant_component_fraction(const network_snapshot& snapshot,
+                                const std::vector<std::uint8_t>& failed = {});
+
+/// Time grid and geometry thresholds of a sweep.
+struct scenario_sweep_options {
+    double duration_s = 86400.0;
+    double step_s = 300.0;
+    double min_elevation_rad = 0.5235987755982988; ///< 30°.
+    double max_isl_range_m = 6.0e6;
+};
+
+/// The sweep time grid: offsets 0, step_s, 2*step_s, ... < duration_s —
+/// shared by every time-stepped sweep so their grids can never drift apart.
+/// A non-positive duration yields an empty grid (sweeps report zeroed
+/// stats); a non-positive step is a contract violation.
+std::vector<double> sweep_offsets(double duration_s, double step_s);
+
+/// Scalar robustness metrics for one scenario over the sweep window.
+struct scenario_metrics {
+    int n_failed = 0;                      ///< Satellites removed by the scenario.
+    double giant_component_fraction = 0.0; ///< Mean over steps.
+    double pair_reachable_fraction = 0.0;  ///< Mean over steps and station pairs.
+    double mean_latency_ms = 0.0;          ///< Over reachable (pair, step) samples.
+    double p95_latency_ms = 0.0;           ///< Over reachable (pair, step) samples.
+};
+
+/// Full sweep output: scalar metrics plus the all-pairs ground-station
+/// matrices (row-major n_stations x n_stations, symmetric, zero diagonal).
+struct scenario_sweep_result {
+    scenario_metrics metrics;
+    int n_stations = 0;
+    int n_steps = 0;
+    std::vector<double> pair_reachable_fraction; ///< Fraction of steps routed.
+    std::vector<double> pair_mean_latency_ms;    ///< Over that pair's reachable steps.
+
+    double reachable(int a, int b) const
+    {
+        return pair_reachable_fraction[static_cast<std::size_t>(a * n_stations + b)];
+    }
+    double mean_latency_ms(int a, int b) const
+    {
+        return pair_mean_latency_ms[static_cast<std::size_t>(a * n_stations + b)];
+    }
+};
+
+/// Sweep one failure scenario over the time grid: inject failures, build
+/// every snapshot from one batched propagation pass, route all station
+/// pairs, and reduce. Bit-identical for any `SSPLANE_THREADS` value.
+scenario_sweep_result run_scenario_sweep(const lsn_topology& topology,
+                                         const std::vector<ground_station>& stations,
+                                         const astro::instant& epoch,
+                                         const failure_scenario& scenario,
+                                         const scenario_sweep_options& options = {});
+
+/// Sweep over a prebuilt builder and its `positions_at_offsets(offsets_s)`
+/// output: callers evaluating many scenarios on one topology/time grid pay
+/// for propagator construction and the propagation pass once.
+scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
+                                         std::span<const double> offsets_s,
+                                         const std::vector<std::vector<vec3>>& positions,
+                                         const failure_scenario& scenario);
+
+/// p95 latency inflation of `scenario` relative to `baseline` (1 = no
+/// inflation). Returns 0 when either p95 is undefined because no pair was
+/// ever reachable.
+double p95_latency_inflation(const scenario_sweep_result& baseline,
+                             const scenario_sweep_result& scenario);
+
+} // namespace ssplane::lsn
+
+#endif // SSPLANE_LSN_SCENARIO_H

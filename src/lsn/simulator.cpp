@@ -1,10 +1,12 @@
 #include "lsn/simulator.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
-#include "astro/propagator.h"
+#include "lsn/scenario.h"
 #include "util/expects.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace ssplane::lsn {
@@ -20,26 +22,44 @@ latency_stats simulate_pair_latency(const lsn_topology& topology,
     expects(ground_b >= 0 && static_cast<std::size_t>(ground_b) < stations.size(),
             "bad ground index b");
 
+    const snapshot_builder builder(topology, stations, epoch,
+                                   options.min_elevation_rad, options.max_isl_range_m);
+    const auto offsets = sweep_offsets(options.duration_s, options.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+
+    // Per-step slots keep the reduction order fixed regardless of how the
+    // pool chunks the steps.
+    struct step_route {
+        double latency_ms = 0.0;
+        double hops = 0.0;
+        bool reachable = false;
+    };
+    std::vector<step_route> per_step(offsets.size());
+    parallel_for(offsets.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto snap = builder.snapshot_from_positions(positions[i]);
+            const auto route = ground_route(snap, ground_a, ground_b);
+            if (route.reachable)
+                per_step[i] = {route.latency_s * 1000.0,
+                               static_cast<double>(route.hops), true};
+        }
+    });
+
     std::vector<double> latencies_ms;
     std::vector<double> hops;
     int reachable = 0;
-    int steps = 0;
-    for (double t_off = 0.0; t_off < options.duration_s; t_off += options.step_s) {
-        const astro::instant t = epoch.plus_seconds(t_off);
-        const auto snap = snapshot_at(topology, stations, epoch, t,
-                                      options.min_elevation_rad, options.max_isl_range_m);
-        const auto route = ground_route(snap, ground_a, ground_b);
-        ++steps;
-        if (route.reachable) {
-            ++reachable;
-            latencies_ms.push_back(route.latency_s * 1000.0);
-            hops.push_back(static_cast<double>(route.hops));
-        }
+    for (const auto& step : per_step) {
+        if (!step.reachable) continue;
+        ++reachable;
+        latencies_ms.push_back(step.latency_ms);
+        hops.push_back(step.hops);
     }
 
     latency_stats stats;
     stats.reachable_fraction =
-        steps > 0 ? static_cast<double>(reachable) / steps : 0.0;
+        !offsets.empty() ? static_cast<double>(reachable) /
+                               static_cast<double>(offsets.size())
+                         : 0.0;
     if (!latencies_ms.empty()) {
         stats.mean_latency_ms = mean(latencies_ms);
         stats.p95_latency_ms = percentile(latencies_ms, 95.0);
@@ -55,18 +75,25 @@ double coverage_fraction(const lsn_topology& topology,
                          const astro::instant& epoch,
                          const simulation_options& options)
 {
-    const std::vector<ground_station> stations{station};
-    int covered = 0;
-    int steps = 0;
-    for (double t_off = 0.0; t_off < options.duration_s; t_off += options.step_s) {
-        const astro::instant t = epoch.plus_seconds(t_off);
-        const auto snap = snapshot_at(topology, stations, epoch, t,
-                                      options.min_elevation_rad, options.max_isl_range_m);
-        ++steps;
-        if (!snap.adjacency[static_cast<std::size_t>(snap.ground_node(0))].empty())
-            ++covered;
-    }
-    return steps > 0 ? static_cast<double>(covered) / steps : 0.0;
+    const snapshot_builder builder(topology, {station}, epoch,
+                                   options.min_elevation_rad, options.max_isl_range_m);
+    const auto offsets = sweep_offsets(options.duration_s, options.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+
+    std::vector<std::uint8_t> covered(offsets.size(), 0);
+    parallel_for(offsets.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto snap = builder.snapshot_from_positions(positions[i]);
+            covered[i] =
+                !snap.adjacency[static_cast<std::size_t>(snap.ground_node(0))].empty();
+        }
+    });
+
+    int n_covered = 0;
+    for (const auto c : covered) n_covered += c;
+    return !offsets.empty()
+               ? static_cast<double>(n_covered) / static_cast<double>(offsets.size())
+               : 0.0;
 }
 
 } // namespace ssplane::lsn

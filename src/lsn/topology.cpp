@@ -9,6 +9,20 @@
 
 namespace ssplane::lsn {
 
+namespace {
+
+/// Ring links of one plane of `s` satellites starting at node `start`. The
+/// closing link is a distinct edge only for s > 2: a 2-ring's wraparound
+/// would duplicate its single edge, breaking link-cut failure semantics.
+void append_ring_links(std::vector<isl_link>& links, int start, int s)
+{
+    for (int slot = 0; slot + 1 < s; ++slot)
+        links.push_back({start + slot, start + slot + 1});
+    if (s > 2) links.push_back({start + s - 1, start});
+}
+
+} // namespace
+
 lsn_topology build_walker_grid_topology(const constellation::walker_parameters& params)
 {
     lsn_topology topo;
@@ -18,14 +32,17 @@ lsn_topology build_walker_grid_topology(const constellation::walker_parameters& 
     const int s = params.sats_per_plane;
     const auto index = [s](int plane, int slot) { return plane * s + slot; };
 
-    for (int plane = 0; plane < p; ++plane) {
-        for (int slot = 0; slot < s; ++slot) {
-            // Intra-plane ring.
-            if (s > 1) topo.links.push_back({index(plane, slot), index(plane, (slot + 1) % s)});
-            // Cross-plane link to the same slot of the next plane (+Grid).
-            if (p > 1) topo.links.push_back({index(plane, slot), index((plane + 1) % p, slot)});
-        }
-    }
+    // Intra-plane rings.
+    for (int plane = 0; plane < p; ++plane)
+        append_ring_links(topo.links, index(plane, 0), s);
+    // Cross-plane +Grid links at matching slots. The seam plane p-1 -> 0 is
+    // a distinct edge only for p > 2 (p == 2 would re-emit plane 0 -> 1).
+    for (int plane = 0; plane + 1 < p; ++plane)
+        for (int slot = 0; slot < s; ++slot)
+            topo.links.push_back({index(plane, slot), index(plane + 1, slot)});
+    if (p > 2)
+        for (int slot = 0; slot < s; ++slot)
+            topo.links.push_back({index(p - 1, slot), index(0, slot)});
     return topo;
 }
 
@@ -47,13 +64,8 @@ lsn_topology build_ss_topology(const std::vector<constellation::ss_plane>& plane
     for (std::size_t i = 0; i < planes.size(); ++i)
         start[i + 1] = start[i] + planes[i].n_sats;
 
-    for (std::size_t i = 0; i < planes.size(); ++i) {
-        const int s = planes[i].n_sats;
-        for (int slot = 0; slot < s; ++slot) {
-            if (s > 1)
-                topo.links.push_back({start[i] + slot, start[i] + (slot + 1) % s});
-        }
-    }
+    for (std::size_t i = 0; i < planes.size(); ++i)
+        append_ring_links(topo.links, start[i], planes[i].n_sats);
     // LTAN-adjacent cross links at matching slots (modulo differing sizes).
     for (std::size_t k = 0; k + 1 < order.size(); ++k) {
         const std::size_t i = order[k];
@@ -81,58 +93,7 @@ std::vector<ground_station> default_ground_stations()
     };
 }
 
-network_snapshot snapshot_at(const lsn_topology& topology,
-                             const std::vector<ground_station>& stations,
-                             const astro::instant& epoch,
-                             const astro::instant& t,
-                             double min_elevation_rad,
-                             double max_isl_range_m)
-{
-    network_snapshot snap;
-    snap.n_satellites = static_cast<int>(topology.satellites.size());
-    snap.n_ground = static_cast<int>(stations.size());
-    snap.positions_ecef_m.reserve(
-        static_cast<std::size_t>(snap.n_satellites + snap.n_ground));
-    snap.adjacency.resize(static_cast<std::size_t>(snap.n_satellites + snap.n_ground));
-
-    for (const auto& sat : topology.satellites) {
-        const astro::j2_propagator orbit(sat.elements, epoch);
-        snap.positions_ecef_m.push_back(
-            astro::eci_to_ecef(orbit.state_at(t).position_m, t));
-    }
-    std::vector<astro::geodetic> ground_geodetic;
-    ground_geodetic.reserve(stations.size());
-    for (const auto& gs : stations) {
-        const astro::geodetic g{gs.latitude_deg, gs.longitude_deg, 0.0};
-        ground_geodetic.push_back(g);
-        snap.positions_ecef_m.push_back(astro::geodetic_to_ecef(g));
-    }
-
-    const auto add_edge = [&](int a, int b) {
-        const double d =
-            (snap.positions_ecef_m[static_cast<std::size_t>(a)] -
-             snap.positions_ecef_m[static_cast<std::size_t>(b)]).norm();
-        const double latency = d / astro::speed_of_light_m_s;
-        snap.adjacency[static_cast<std::size_t>(a)].push_back({b, latency});
-        snap.adjacency[static_cast<std::size_t>(b)].push_back({a, latency});
-    };
-
-    for (const auto& link : topology.links) {
-        const double d = (snap.positions_ecef_m[static_cast<std::size_t>(link.a)] -
-                          snap.positions_ecef_m[static_cast<std::size_t>(link.b)]).norm();
-        if (d <= max_isl_range_m) add_edge(link.a, link.b);
-    }
-
-    for (int g = 0; g < snap.n_ground; ++g) {
-        const int gs_node = snap.ground_node(g);
-        for (int s = 0; s < snap.n_satellites; ++s) {
-            const double elev = astro::elevation_angle_rad(
-                ground_geodetic[static_cast<std::size_t>(g)],
-                snap.positions_ecef_m[static_cast<std::size_t>(s)]);
-            if (elev >= min_elevation_rad) add_edge(gs_node, s);
-        }
-    }
-    return snap;
-}
+// snapshot_at is defined in scenario.cpp: it is a one-shot wrapper over
+// snapshot_builder, and topology must not depend on the sweep engine.
 
 } // namespace ssplane::lsn

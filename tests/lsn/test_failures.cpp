@@ -78,6 +78,34 @@ TEST(Failures, SparesForAvailabilityMeetsTarget)
     EXPECT_LE(relaxed.spares, r.spares);
 }
 
+TEST(Failures, TargetMetFlagOnReachableTarget)
+{
+    failure_model_options opts;
+    const auto r = spares_for_availability(20, 0.25, 0.995, opts, 5, 128);
+    EXPECT_TRUE(r.target_met);
+    EXPECT_GE(r.availability, 0.995);
+}
+
+TEST(Failures, UnreachableTargetIsNotMasqueradedAsSuccess)
+{
+    failure_model_options opts;
+    // At 20 failures/slot/year every failure costs >= spare_drift_days of
+    // downtime no matter how many spares are on orbit, so 0.999 cannot be
+    // reached and the search must say so instead of returning the 32-spare
+    // result as if it succeeded.
+    const auto r = spares_for_availability(10, 20.0, 0.999, opts, 5, 32);
+    EXPECT_FALSE(r.target_met);
+    EXPECT_EQ(r.spares, 32);
+    EXPECT_LT(r.availability, 0.999);
+}
+
+TEST(Failures, SimulateAloneLeavesTargetMetUnset)
+{
+    failure_model_options opts;
+    const auto r = simulate_plane_availability(10, 2, 0.1, opts, 1, 32);
+    EXPECT_FALSE(r.target_met);
+}
+
 TEST(Failures, HigherRateNeedsMoreSpares)
 {
     failure_model_options opts;

@@ -1,5 +1,7 @@
 #include "lsn/routing.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/expects.h"
@@ -79,6 +81,33 @@ TEST(Routing, InvalidNodesRejected)
     const auto snap = line_graph();
     EXPECT_THROW(shortest_route(snap, -1, 2), contract_violation);
     EXPECT_THROW(shortest_route(snap, 0, 4), contract_violation);
+}
+
+TEST(Routing, SingleSourceLatenciesMatchPointQueries)
+{
+    const auto snap = line_graph();
+    const auto dist = single_source_latencies(snap, 0);
+    ASSERT_EQ(dist.size(), 4u);
+    EXPECT_EQ(dist[0], 0.0);
+    for (int v = 1; v < 4; ++v)
+        EXPECT_DOUBLE_EQ(dist[static_cast<std::size_t>(v)],
+                         shortest_route(snap, 0, v).latency_s);
+}
+
+TEST(Routing, SingleSourceOnDisconnectedSnapshot)
+{
+    network_snapshot snap;
+    snap.n_satellites = 4;
+    snap.positions_ecef_m.resize(4);
+    snap.adjacency.resize(4);
+    snap.adjacency[0].push_back({1, 0.001});
+    snap.adjacency[1].push_back({0, 0.001});
+    // Nodes 2 and 3 form a separate (edgeless) component.
+    const auto dist = single_source_latencies(snap, 0);
+    EXPECT_DOUBLE_EQ(dist[1], 0.001);
+    EXPECT_EQ(dist[2], std::numeric_limits<double>::infinity());
+    EXPECT_EQ(dist[3], std::numeric_limits<double>::infinity());
+    EXPECT_THROW(single_source_latencies(snap, 9), contract_violation);
 }
 
 TEST(Routing, GroundRouteUsesGroundIndices)

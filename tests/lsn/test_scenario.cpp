@@ -1,0 +1,366 @@
+#include "lsn/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "lsn/routing.h"
+#include "util/angles.h"
+#include "util/expects.h"
+#include "util/parallel.h"
+
+namespace ssplane::lsn {
+namespace {
+
+constellation::walker_parameters small_grid(int planes = 6, int sats = 6)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = planes;
+    p.sats_per_plane = sats;
+    p.phasing_f = 1;
+    return p;
+}
+
+TEST(Scenario, BuilderSnapshotMatchesSnapshotAt)
+{
+    const auto topo = build_walker_grid_topology(small_grid(4, 4));
+    const auto stations = default_ground_stations();
+    const auto epoch = astro::instant::j2000();
+    const snapshot_builder builder(topo, stations, epoch, deg2rad(30.0));
+
+    for (const double off : {0.0, 1234.5, 43210.0, 86100.0}) {
+        const auto t = epoch.plus_seconds(off);
+        const auto reference = snapshot_at(topo, stations, epoch, t, deg2rad(30.0));
+        const auto built = builder.snapshot(t.seconds_since(epoch));
+        ASSERT_EQ(built.positions_ecef_m.size(), reference.positions_ecef_m.size());
+        for (std::size_t i = 0; i < built.positions_ecef_m.size(); ++i) {
+            EXPECT_EQ(built.positions_ecef_m[i].x, reference.positions_ecef_m[i].x);
+            EXPECT_EQ(built.positions_ecef_m[i].y, reference.positions_ecef_m[i].y);
+            EXPECT_EQ(built.positions_ecef_m[i].z, reference.positions_ecef_m[i].z);
+        }
+        ASSERT_EQ(built.adjacency.size(), reference.adjacency.size());
+        for (std::size_t i = 0; i < built.adjacency.size(); ++i) {
+            ASSERT_EQ(built.adjacency[i].size(), reference.adjacency[i].size());
+            for (std::size_t k = 0; k < built.adjacency[i].size(); ++k) {
+                EXPECT_EQ(built.adjacency[i][k].to, reference.adjacency[i][k].to);
+                EXPECT_EQ(built.adjacency[i][k].latency_s,
+                          reference.adjacency[i][k].latency_s);
+            }
+        }
+    }
+}
+
+TEST(Scenario, BatchedPositionsMatchPerStepSnapshots)
+{
+    const auto topo = build_walker_grid_topology(small_grid(3, 5));
+    const auto epoch = astro::instant::j2000();
+    const snapshot_builder builder(topo, {}, epoch, deg2rad(30.0));
+
+    const std::vector<double> offsets{0.0, 600.0, 1800.0, 7200.0};
+    const auto batched = builder.positions_at_offsets(offsets);
+    ASSERT_EQ(batched.size(), offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        const auto snap = builder.snapshot(offsets[i]);
+        ASSERT_EQ(batched[i].size(), static_cast<std::size_t>(snap.n_satellites));
+        for (std::size_t s = 0; s < batched[i].size(); ++s) {
+            EXPECT_EQ(batched[i][s].x, snap.positions_ecef_m[s].x);
+            EXPECT_EQ(batched[i][s].y, snap.positions_ecef_m[s].y);
+            EXPECT_EQ(batched[i][s].z, snap.positions_ecef_m[s].z);
+        }
+    }
+}
+
+TEST(Scenario, FailedSatellitesGetNoEdges)
+{
+    const auto topo = build_walker_grid_topology(small_grid(4, 4));
+    const auto stations = default_ground_stations();
+    const snapshot_builder builder(topo, stations, astro::instant::j2000(),
+                                   deg2rad(30.0));
+    std::vector<std::uint8_t> failed(topo.satellites.size(), 0);
+    failed[0] = 1;
+    failed[5] = 1;
+
+    const auto snap = builder.snapshot(0.0, failed);
+    EXPECT_TRUE(snap.adjacency[0].empty());
+    EXPECT_TRUE(snap.adjacency[5].empty());
+    for (std::size_t u = 0; u < snap.adjacency.size(); ++u)
+        for (const auto& e : snap.adjacency[u])
+            EXPECT_TRUE(e.to != 0 && e.to != 5);
+
+    // The unfailed part of the graph is untouched.
+    const auto full = builder.snapshot(0.0);
+    for (std::size_t u = 0; u < snap.adjacency.size(); ++u) {
+        if (u == 0 || u == 5) continue;
+        std::size_t kept = 0;
+        for (const auto& e : full.adjacency[u])
+            if (e.to != 0 && e.to != 5) ++kept;
+        EXPECT_EQ(snap.adjacency[u].size(), kept);
+    }
+}
+
+TEST(Scenario, SampleFailuresCountsPerMode)
+{
+    const auto topo = build_walker_grid_topology(small_grid(6, 6));
+    const auto count = [](const std::vector<std::uint8_t>& mask) {
+        return std::count(mask.begin(), mask.end(), 1);
+    };
+
+    failure_scenario none;
+    EXPECT_EQ(count(sample_failures(topo, none)), 0);
+
+    failure_scenario random;
+    random.mode = failure_mode::random_loss;
+    random.loss_fraction = 0.25;
+    random.seed = 11;
+    EXPECT_EQ(count(sample_failures(topo, random)), 9); // exactly round(0.25 * 36)
+
+    failure_scenario attack;
+    attack.mode = failure_mode::plane_attack;
+    attack.planes_attacked = 2;
+    attack.seed = 11;
+    const auto attacked = sample_failures(topo, attack);
+    EXPECT_EQ(count(attacked), 12);
+    // Whole planes only: every plane is either fully dead or fully alive.
+    for (int plane = 0; plane < 6; ++plane) {
+        int dead = 0;
+        for (int slot = 0; slot < 6; ++slot) dead += attacked[plane * 6 + slot];
+        EXPECT_TRUE(dead == 0 || dead == 6);
+    }
+
+    failure_scenario cold;
+    cold.mode = failure_mode::radiation_poisson;
+    cold.plane_daily_fluence.assign(6, 0.0); // zero fluence -> zero rate
+    EXPECT_EQ(count(sample_failures(topo, cold)), 0);
+
+    failure_scenario hot = cold;
+    hot.plane_daily_fluence.assign(6, 1.0e30); // certain failure
+    hot.horizon_days = 10.0 * 365.25;
+    EXPECT_EQ(count(sample_failures(topo, hot)), 36);
+}
+
+TEST(Scenario, SampleFailuresDeterministicInSeed)
+{
+    const auto topo = build_walker_grid_topology(small_grid(5, 4));
+    failure_scenario s;
+    s.mode = failure_mode::random_loss;
+    s.loss_fraction = 0.3;
+    s.seed = 77;
+    EXPECT_EQ(sample_failures(topo, s), sample_failures(topo, s));
+}
+
+TEST(Scenario, SampleFailuresValidation)
+{
+    const auto topo = build_walker_grid_topology(small_grid(3, 3));
+    failure_scenario bad_fraction;
+    bad_fraction.mode = failure_mode::random_loss;
+    bad_fraction.loss_fraction = 1.5;
+    EXPECT_THROW(sample_failures(topo, bad_fraction), contract_violation);
+
+    failure_scenario bad_planes;
+    bad_planes.mode = failure_mode::plane_attack;
+    bad_planes.planes_attacked = 4;
+    EXPECT_THROW(sample_failures(topo, bad_planes), contract_violation);
+
+    failure_scenario short_fluence;
+    short_fluence.mode = failure_mode::radiation_poisson;
+    short_fluence.plane_daily_fluence.assign(1, 1.0e9); // 3 planes need 3 entries
+    EXPECT_THROW(sample_failures(topo, short_fluence), contract_violation);
+}
+
+TEST(Scenario, GiantComponentFullGridIsWhole)
+{
+    const auto topo = build_walker_grid_topology(small_grid(6, 6));
+    const snapshot_builder builder(topo, {}, astro::instant::j2000(), deg2rad(30.0),
+                                   1.0e9);
+    EXPECT_DOUBLE_EQ(giant_component_fraction(builder.snapshot(0.0)), 1.0);
+}
+
+TEST(Scenario, ShortestRouteOnDisconnectedSnapshot)
+{
+    // Kill every satellite: the ground stations have nothing to route over.
+    const auto topo = build_walker_grid_topology(small_grid(4, 4));
+    const auto stations = default_ground_stations();
+    const snapshot_builder builder(topo, stations, astro::instant::j2000(),
+                                   deg2rad(30.0));
+    const std::vector<std::uint8_t> all_failed(topo.satellites.size(), 1);
+    const auto snap = builder.snapshot(0.0, all_failed);
+
+    const auto route = ground_route(snap, 0, 3);
+    EXPECT_FALSE(route.reachable);
+    EXPECT_TRUE(route.path.empty());
+
+    const auto dist = single_source_latencies(snap, snap.ground_node(0));
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(dist[static_cast<std::size_t>(snap.ground_node(0))], 0.0);
+    for (int s = 0; s < snap.n_satellites; ++s)
+        EXPECT_EQ(dist[static_cast<std::size_t>(s)], inf);
+    EXPECT_EQ(giant_component_fraction(snap, all_failed), 0.0);
+}
+
+TEST(Scenario, SingleSourceMatchesPointToPoint)
+{
+    const auto topo = build_walker_grid_topology(small_grid(5, 5));
+    const auto stations = default_ground_stations();
+    const snapshot_builder builder(topo, stations, astro::instant::j2000(),
+                                   deg2rad(25.0));
+    const auto snap = builder.snapshot(900.0);
+    const auto dist = single_source_latencies(snap, snap.ground_node(0));
+    for (int b = 1; b < snap.n_ground; ++b) {
+        const auto route = ground_route(snap, 0, b);
+        const double d = dist[static_cast<std::size_t>(snap.ground_node(b))];
+        if (route.reachable)
+            EXPECT_DOUBLE_EQ(d, route.latency_s);
+        else
+            EXPECT_EQ(d, std::numeric_limits<double>::infinity());
+    }
+}
+
+TEST(Scenario, PlaneAttackAndRandomLossGiantComponentCurves)
+{
+    const auto topo = build_walker_grid_topology(small_grid(6, 6));
+    const auto epoch = astro::instant::j2000();
+    scenario_sweep_options opts;
+    opts.duration_s = 1200.0;
+    opts.step_s = 600.0;
+    opts.max_isl_range_m = 1.0e9; // geometry never cuts the grid links
+
+    // Whole-plane attack fragments the survivors along the plane ring:
+    // removing k planes leaves 6-k planes split into at most k arcs, so the
+    // giant component holds between ceil((6-k)/k) and 6-k planes.
+    for (int k = 0; k <= 3; ++k) {
+        failure_scenario attack;
+        attack.mode = failure_mode::plane_attack;
+        attack.planes_attacked = k;
+        attack.seed = 21;
+        const auto r = run_scenario_sweep(topo, {}, epoch, attack, opts);
+        EXPECT_EQ(r.metrics.n_failed, 6 * k);
+        EXPECT_LE(r.metrics.giant_component_fraction, 1.0 - k / 6.0 + 1e-12);
+        if (k == 0) {
+            EXPECT_DOUBLE_EQ(r.metrics.giant_component_fraction, 1.0);
+        } else {
+            const double min_arc_planes = std::ceil((6.0 - k) / k);
+            EXPECT_GE(r.metrics.giant_component_fraction,
+                      min_arc_planes / 6.0 - 1e-12);
+        }
+    }
+
+    // Random loss of the same magnitude spreads over planes and rarely
+    // fragments a +Grid, so its giant component hugs the survivor count.
+    for (int k = 0; k <= 3; ++k) {
+        failure_scenario random;
+        random.mode = failure_mode::random_loss;
+        random.loss_fraction = k / 6.0;
+        random.seed = 21;
+        const auto r = run_scenario_sweep(topo, {}, epoch, random, opts);
+        EXPECT_EQ(r.metrics.n_failed, 6 * k);
+        EXPECT_LE(r.metrics.giant_component_fraction, 1.0 - k / 6.0 + 1e-12);
+    }
+}
+
+TEST(Scenario, DegenerateTimeGrids)
+{
+    EXPECT_TRUE(sweep_offsets(0.0, 300.0).empty());
+    EXPECT_TRUE(sweep_offsets(-5.0, 300.0).empty());
+    EXPECT_THROW(sweep_offsets(100.0, 0.0), contract_violation);
+    EXPECT_EQ(sweep_offsets(900.0, 300.0).size(), 3u);
+
+    // An empty grid sweeps to zeroed metrics instead of throwing.
+    const auto topo = build_walker_grid_topology(small_grid(3, 3));
+    scenario_sweep_options opts;
+    opts.duration_s = 0.0;
+    const auto r = run_scenario_sweep(topo, default_ground_stations(),
+                                      astro::instant::j2000(), {}, opts);
+    EXPECT_EQ(r.n_steps, 0);
+    EXPECT_EQ(r.metrics.pair_reachable_fraction, 0.0);
+    EXPECT_EQ(r.metrics.p95_latency_ms, 0.0);
+}
+
+TEST(Scenario, SweepDeterministicAcrossThreadCounts)
+{
+    const auto topo = build_walker_grid_topology(small_grid(4, 5));
+    const auto all = default_ground_stations();
+    const std::vector<ground_station> stations(all.begin(), all.begin() + 5);
+    const auto epoch = astro::instant::j2000();
+
+    failure_scenario scenario;
+    scenario.mode = failure_mode::random_loss;
+    scenario.loss_fraction = 0.2;
+    scenario.seed = 3;
+
+    scenario_sweep_options opts;
+    opts.duration_s = 3600.0;
+    opts.step_s = 600.0;
+    opts.min_elevation_rad = deg2rad(25.0);
+
+    std::vector<scenario_sweep_result> runs;
+    for (const unsigned threads : {1u, 2u, 5u}) {
+        set_thread_count(threads);
+        runs.push_back(run_scenario_sweep(topo, stations, epoch, scenario, opts));
+    }
+    set_thread_count(0);
+
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[i].metrics.n_failed, runs[0].metrics.n_failed);
+        EXPECT_EQ(runs[i].metrics.giant_component_fraction,
+                  runs[0].metrics.giant_component_fraction);
+        EXPECT_EQ(runs[i].metrics.pair_reachable_fraction,
+                  runs[0].metrics.pair_reachable_fraction);
+        EXPECT_EQ(runs[i].metrics.mean_latency_ms, runs[0].metrics.mean_latency_ms);
+        EXPECT_EQ(runs[i].metrics.p95_latency_ms, runs[0].metrics.p95_latency_ms);
+        EXPECT_EQ(runs[i].pair_reachable_fraction, runs[0].pair_reachable_fraction);
+        EXPECT_EQ(runs[i].pair_mean_latency_ms, runs[0].pair_mean_latency_ms);
+    }
+}
+
+TEST(Scenario, SweepBaselineVersusFailures)
+{
+    // A dense shell so most pairs are reachable at baseline.
+    const auto topo = build_walker_grid_topology([] {
+        auto p = small_grid(8, 10);
+        p.altitude_m = 1200.0e3;
+        p.inclination_rad = deg2rad(70.0);
+        return p;
+    }());
+    const auto stations = default_ground_stations();
+    const auto epoch = astro::instant::j2000();
+    scenario_sweep_options opts;
+    opts.duration_s = 3600.0;
+    opts.step_s = 900.0;
+    opts.min_elevation_rad = deg2rad(25.0);
+    opts.max_isl_range_m = 8.0e6; // keep the 1200 km shell's +Grid intact
+
+    const auto baseline = run_scenario_sweep(topo, stations, epoch, {}, opts);
+    EXPECT_EQ(baseline.metrics.n_failed, 0);
+    EXPECT_DOUBLE_EQ(baseline.metrics.giant_component_fraction, 1.0);
+    EXPECT_GT(baseline.metrics.pair_reachable_fraction, 0.6);
+    EXPECT_GT(baseline.metrics.p95_latency_ms, baseline.metrics.mean_latency_ms * 0.5);
+    EXPECT_DOUBLE_EQ(p95_latency_inflation(baseline, baseline), 1.0);
+
+    failure_scenario heavy;
+    heavy.mode = failure_mode::random_loss;
+    heavy.loss_fraction = 0.5;
+    heavy.seed = 9;
+    const auto failed = run_scenario_sweep(topo, stations, epoch, heavy, opts);
+    EXPECT_EQ(failed.metrics.n_failed, 40);
+    EXPECT_LT(failed.metrics.giant_component_fraction,
+              baseline.metrics.giant_component_fraction);
+    EXPECT_LE(failed.metrics.pair_reachable_fraction,
+              baseline.metrics.pair_reachable_fraction + 1e-12);
+
+    // The all-pairs matrices are symmetric with an empty diagonal.
+    const int n = baseline.n_stations;
+    for (int a = 0; a < n; ++a) {
+        EXPECT_EQ(baseline.reachable(a, a), 0.0);
+        for (int b = 0; b < n; ++b) {
+            EXPECT_EQ(baseline.reachable(a, b), baseline.reachable(b, a));
+            EXPECT_EQ(baseline.mean_latency_ms(a, b), baseline.mean_latency_ms(b, a));
+        }
+    }
+}
+
+} // namespace
+} // namespace ssplane::lsn

@@ -3,6 +3,8 @@
 #include "astro/ground_track.h"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -28,6 +30,74 @@ TEST(Topology, WalkerGridLinkCount)
         EXPECT_LT(link.b, 30);
         EXPECT_NE(link.a, link.b);
     }
+}
+
+/// No undirected edge may appear twice (a duplicated link would double its
+/// adjacency entries and survive a single link-cut failure).
+void expect_unique_links(const lsn_topology& topo)
+{
+    std::set<std::pair<int, int>> seen;
+    for (const auto& link : topo.links) {
+        EXPECT_NE(link.a, link.b);
+        const auto edge = std::minmax(link.a, link.b);
+        EXPECT_TRUE(seen.insert(edge).second)
+            << "duplicate link " << edge.first << "-" << edge.second;
+    }
+}
+
+TEST(Topology, TwoPlaneGridHasNoDuplicateCrossLinks)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 2;
+    p.sats_per_plane = 6;
+    const auto topo = build_walker_grid_topology(p);
+    // 2 rings of 6 plus ONE bridge of 6 (0->1 and 1->0 are the same edge).
+    EXPECT_EQ(topo.links.size(), 12u + 6u);
+    expect_unique_links(topo);
+}
+
+TEST(Topology, TwoSatRingHasNoDuplicateWrapLink)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 4;
+    p.sats_per_plane = 2;
+    const auto topo = build_walker_grid_topology(p);
+    // 4 one-link "rings" + cross links 0-1, 1-2, 2-3, 3-0 at both slots.
+    EXPECT_EQ(topo.links.size(), 4u + 8u);
+    expect_unique_links(topo);
+}
+
+TEST(Topology, TwoByTwoGridDedup)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 2;
+    p.sats_per_plane = 2;
+    const auto topo = build_walker_grid_topology(p);
+    // Both degeneracies at once: 2 one-link rings + one bridge per slot.
+    EXPECT_EQ(topo.links.size(), 4u);
+    expect_unique_links(topo);
+}
+
+TEST(Topology, LargerGridsHaveUniqueLinks)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 5;
+    p.sats_per_plane = 6;
+    expect_unique_links(build_walker_grid_topology(p));
+
+    std::vector<constellation::ss_plane> planes;
+    planes.push_back({560.0e3, 10.0, 2, 0.0}); // 2-ring: single intra link
+    planes.push_back({560.0e3, 14.0, 4, 0.0});
+    planes.push_back({560.0e3, 12.0, 4, 0.0});
+    const auto ss = build_ss_topology(planes, astro::instant::j2000());
+    expect_unique_links(ss);
+    // 1 + 4 + 4 ring links; LTAN order 10-12-14 gives bridges of min(2,4)
+    // and min(4,4) satellites.
+    EXPECT_EQ(ss.links.size(), 9u + 6u);
 }
 
 TEST(Topology, SinglePlaneHasRingOnly)
