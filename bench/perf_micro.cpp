@@ -23,6 +23,8 @@
 #include "lsn/scenario.h"
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
+#include "traffic/flow_assignment.h"
+#include "traffic/traffic_matrix.h"
 #include "util/angles.h"
 
 using namespace ssplane;
@@ -170,6 +172,72 @@ void bm_scenario_sweep_baseline(benchmark::State& state)
     }
 }
 BENCHMARK(bm_scenario_sweep_baseline)->Unit(benchmark::kMillisecond);
+
+/// Prebuilt day sweep of snapshots + diurnal matrices for the traffic
+/// assignment benches: both contenders consume identical inputs, so the
+/// measured contrast is purely the assignment algorithm.
+struct traffic_bench_inputs {
+    std::vector<lsn::network_snapshot> snapshots;
+    std::vector<traffic::traffic_matrix> matrices;
+    traffic::capacity_options capacity;
+};
+
+const traffic_bench_inputs& bench_traffic_inputs()
+{
+    static const traffic_bench_inputs inputs = [] {
+        traffic_bench_inputs in;
+        const auto& topo = bench_walker_grid();
+        const auto stations = traffic::stations_from_cities(12);
+        const auto epoch = astro::instant::j2000();
+        const lsn::snapshot_builder builder(topo, stations, epoch, deg2rad(30.0));
+        const auto offsets = lsn::sweep_offsets(86400.0, sweep_step_s);
+        const auto positions = builder.positions_at_offsets(offsets);
+        const demand::demand_model model(bench_population());
+        traffic::traffic_matrix_options matrix_opts;
+        // Offered load well past the link capacities below, so every
+        // water-filling round stays busy in both contenders.
+        matrix_opts.total_demand_gbps = 4000.0;
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            in.snapshots.push_back(builder.snapshot_from_positions(positions[i]));
+            in.matrices.push_back(traffic::build_traffic_matrix(
+                model, stations, epoch.plus_seconds(offsets[i]), matrix_opts));
+        }
+        return in;
+    }();
+    return inputs;
+}
+
+void bm_traffic_assign(benchmark::State& state)
+{
+    // Capacity-aware day sweep on the 40x40 grid, 12 gateways: per round one
+    // Dijkstra tree per source gateway serves all of its pairs.
+    const auto& in = bench_traffic_inputs();
+    for (auto _ : state) {
+        double delivered = 0.0;
+        for (std::size_t i = 0; i < in.snapshots.size(); ++i)
+            delivered +=
+                traffic::assign_flows(in.snapshots[i], in.matrices[i], in.capacity)
+                    .delivered_gbps;
+        benchmark::DoNotOptimize(delivered);
+    }
+}
+BENCHMARK(bm_traffic_assign)->Unit(benchmark::kMillisecond);
+
+void bm_traffic_assign_baseline(benchmark::State& state)
+{
+    // The naive route to the same assignment: every (pair, round) rebuilds
+    // the congestion-weighted graph and runs its own point-to-point Dijkstra.
+    const auto& in = bench_traffic_inputs();
+    for (auto _ : state) {
+        double delivered = 0.0;
+        for (std::size_t i = 0; i < in.snapshots.size(); ++i)
+            delivered += traffic::assign_flows_per_pair_baseline(
+                             in.snapshots[i], in.matrices[i], in.capacity)
+                             .delivered_gbps;
+        benchmark::DoNotOptimize(delivered);
+    }
+}
+BENCHMARK(bm_traffic_assign_baseline)->Unit(benchmark::kMillisecond);
 
 void bm_dijkstra(benchmark::State& state)
 {

@@ -1,5 +1,12 @@
 #include "demand/cities.h"
 
+#include <algorithm>
+#include <string_view>
+
+#include "geo/geodesy.h"
+#include "util/angles.h"
+#include "util/expects.h"
+
 namespace ssplane::demand {
 
 namespace {
@@ -337,6 +344,39 @@ constexpr region_density k_regions[] = {
 std::span<const city> world_cities() noexcept
 {
     return k_cities;
+}
+
+std::vector<city> top_cities(int n, double min_separation_deg)
+{
+    expects(n > 0, "top_cities needs n > 0");
+    expects(min_separation_deg >= 0.0, "separation must be non-negative");
+
+    std::vector<const city*> by_population;
+    by_population.reserve(world_cities().size());
+    for (const city& c : world_cities()) by_population.push_back(&c);
+    std::sort(by_population.begin(), by_population.end(),
+              [](const city* a, const city* b) {
+                  if (a->population != b->population)
+                      return a->population > b->population;
+                  return std::string_view(a->name) < std::string_view(b->name);
+              });
+
+    const double min_separation_rad = deg2rad(min_separation_deg);
+    std::vector<city> picked;
+    picked.reserve(static_cast<std::size_t>(n));
+    for (const city* c : by_population) {
+        if (static_cast<int>(picked.size()) == n) break;
+        const bool clear = std::none_of(
+            picked.begin(), picked.end(), [&](const city& p) {
+                return geo::central_angle_rad(c->latitude_deg, c->longitude_deg,
+                                              p.latitude_deg, p.longitude_deg) <
+                       min_separation_rad;
+            });
+        if (clear) picked.push_back(*c);
+    }
+    expects(static_cast<int>(picked.size()) == n,
+            "gazetteer cannot supply n cities at this separation");
+    return picked;
 }
 
 std::span<const region_density> background_regions() noexcept

@@ -10,6 +10,7 @@
 #define SSPLANE_DEMAND_CITIES_H
 
 #include <span>
+#include <vector>
 
 namespace ssplane::demand {
 
@@ -24,6 +25,13 @@ struct city {
 
 /// The built-in gazetteer, ordered roughly by region.
 std::span<const city> world_cities() noexcept;
+
+/// The `n` most populous gazetteer metros, greedily filtered so no two
+/// picks are closer than `min_separation_deg` of great-circle arc — one
+/// gateway per conurbation instead of five in the Pearl River Delta.
+/// Ordered by descending population; n must be positive and the filtered
+/// gazetteer must be able to supply n cities.
+std::vector<city> top_cities(int n, double min_separation_deg = 5.0);
 
 /// A coarse rural/suburban background density over a lat/lon box.
 struct region_density {

@@ -12,8 +12,16 @@ namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
 
+/// Sentinel destinations of the shared Dijkstra core: run a full pass, or
+/// stop once every ground node is settled (the all-pairs traffic primitive).
+constexpr int all_nodes = -1;
+constexpr int all_ground_nodes = -2;
+
 /// Dijkstra core shared by the point-to-point and single-source queries.
-/// Stops as soon as `dst_node` is settled unless `dst_node < 0` (full pass).
+/// Stops as soon as `dst_node` is settled; a sentinel destination settles
+/// the whole graph (`all_nodes`) or every ground node (`all_ground_nodes`
+/// — distances of never-popped satellites are still correct upper bounds
+/// that equal the true distance whenever a ground path runs through them).
 void dijkstra(const network_snapshot& snapshot, int src_node, int dst_node,
               std::vector<double>& dist, std::vector<int>& prev)
 {
@@ -23,6 +31,7 @@ void dijkstra(const network_snapshot& snapshot, int src_node, int dst_node,
     using queue_item = std::pair<double, int>; // (distance, node)
     std::priority_queue<queue_item, std::vector<queue_item>, std::greater<>> queue;
 
+    int grounds_unsettled = snapshot.n_ground;
     dist[static_cast<std::size_t>(src_node)] = 0.0;
     queue.emplace(0.0, src_node);
     while (!queue.empty()) {
@@ -30,6 +39,9 @@ void dijkstra(const network_snapshot& snapshot, int src_node, int dst_node,
         queue.pop();
         if (d > dist[static_cast<std::size_t>(u)]) continue;
         if (u == dst_node) break;
+        if (dst_node == all_ground_nodes && u >= snapshot.n_satellites &&
+            --grounds_unsettled == 0 && u != src_node)
+            break;
         for (const auto& e : snapshot.adjacency[static_cast<std::size_t>(u)]) {
             const double nd = d + e.latency_s;
             if (nd < dist[static_cast<std::size_t>(e.to)]) {
@@ -76,8 +88,33 @@ std::vector<double> single_source_latencies(const network_snapshot& snapshot,
     return dist;
 }
 
+std::vector<int> route_tree::path_to(int node) const
+{
+    if (!reachable(node)) return {};
+    std::vector<int> path;
+    for (int v = node; v != -1; v = prev[static_cast<std::size_t>(v)])
+        path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+route_tree single_source_routes(const network_snapshot& snapshot, int src_node,
+                                bool ground_targets_only)
+{
+    expects(src_node >= 0 &&
+                static_cast<std::size_t>(src_node) < snapshot.adjacency.size(),
+            "bad source node");
+    route_tree tree;
+    tree.source = src_node;
+    dijkstra(snapshot, src_node, ground_targets_only ? all_ground_nodes : all_nodes,
+             tree.latency_s, tree.prev);
+    return tree;
+}
+
 route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b)
 {
+    expects(ground_a >= 0 && ground_a < snapshot.n_ground, "bad ground index a");
+    expects(ground_b >= 0 && ground_b < snapshot.n_ground, "bad ground index b");
     return shortest_route(snapshot, snapshot.ground_node(ground_a),
                           snapshot.ground_node(ground_b));
 }

@@ -2,9 +2,11 @@
 #ifndef SSPLANE_LSN_ROUTING_H
 #define SSPLANE_LSN_ROUTING_H
 
+#include <limits>
 #include <vector>
 
 #include "lsn/topology.h"
+#include "util/expects.h"
 
 namespace ssplane::lsn {
 
@@ -24,6 +26,35 @@ route_result shortest_route(const network_snapshot& snapshot, int src_node, int 
 /// sweep engine: one source per ground station covers the whole matrix.
 std::vector<double> single_source_latencies(const network_snapshot& snapshot,
                                             int src_node);
+
+/// Shortest-path tree of one Dijkstra pass: distances plus predecessors, so
+/// callers needing the actual hops to many destinations (the traffic
+/// engine's flow assignment) pay one pass per source instead of one
+/// point-to-point query per pair.
+struct route_tree {
+    int source = 0;
+    std::vector<double> latency_s; ///< Infinity = unreachable.
+    std::vector<int> prev;         ///< Predecessor node; -1 at source/unreachable.
+
+    bool reachable(int node) const
+    {
+        expects(node >= 0 && static_cast<std::size_t>(node) < latency_s.size(),
+                "bad node index");
+        return latency_s[static_cast<std::size_t>(node)] !=
+               std::numeric_limits<double>::infinity();
+    }
+
+    /// Node indices from the source to `node`; empty when unreachable.
+    std::vector<int> path_to(int node) const;
+};
+
+/// Dijkstra pass from `src_node` keeping the predecessor tree. With
+/// `ground_targets_only` the pass stops once every ground node is settled —
+/// paths and latencies to ground nodes are exact, satellite entries may be
+/// unsettled; the traffic engine's per-source queries use this to skip the
+/// far side of the constellation.
+route_tree single_source_routes(const network_snapshot& snapshot, int src_node,
+                                bool ground_targets_only = false);
 
 /// Convenience: route between two ground stations by index.
 route_result ground_route(const network_snapshot& snapshot, int ground_a, int ground_b);

@@ -368,7 +368,8 @@ scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
             : 0.0;
     if (!pooled_ms.empty()) {
         m.mean_latency_ms = mean(pooled_ms);
-        m.p95_latency_ms = percentile(pooled_ms, 95.0);
+        std::sort(pooled_ms.begin(), pooled_ms.end());
+        m.p95_latency_ms = percentile_sorted(pooled_ms, 95.0);
     }
     return result;
 }

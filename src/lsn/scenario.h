@@ -45,6 +45,7 @@ public:
     int n_ground() const noexcept { return static_cast<int>(stations_.size()); }
     const astro::instant& epoch() const noexcept { return epoch_; }
     const lsn_topology& topology() const noexcept { return *topology_; }
+    const std::vector<ground_station>& stations() const noexcept { return stations_; }
 
     /// Graph at `epoch + offset_s`. `failed` (when non-empty; size
     /// n_satellites, nonzero = failed) keeps the satellite's node but gives

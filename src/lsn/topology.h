@@ -13,6 +13,7 @@
 #include "astro/frames.h"
 #include "constellation/sun_sync.h"
 #include "constellation/walker.h"
+#include "util/expects.h"
 
 namespace ssplane::lsn {
 
@@ -56,8 +57,10 @@ struct network_snapshot {
     int n_satellites = 0;
     int n_ground = 0;
 
-    int ground_node(int ground_index) const noexcept
+    int ground_node(int ground_index) const
     {
+        expects(ground_index >= 0 && ground_index < n_ground,
+                "ground index out of range");
         return n_satellites + ground_index;
     }
 };

@@ -1,0 +1,235 @@
+#include "traffic/flow_assignment.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "lsn/routing.h"
+#include "util/expects.h"
+#include "util/stats.h"
+
+namespace ssplane::traffic {
+
+namespace {
+
+constexpr double flow_eps_gbps = 1e-9;
+
+/// Undirected edge ids over a snapshot: `links` in deterministic (node,
+/// adjacency) order plus a (min,max)-keyed lookup for path walks.
+struct edge_table {
+    std::vector<link_load> links;
+    std::unordered_map<std::uint64_t, int> id;
+
+    static std::uint64_t key(int a, int b)
+    {
+        const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+        const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+        return (lo << 32) | hi;
+    }
+    int id_of(int a, int b) const { return id.at(key(a, b)); }
+};
+
+edge_table build_edge_table(const lsn::network_snapshot& snapshot,
+                            const capacity_options& options)
+{
+    edge_table table;
+    for (int u = 0; u < static_cast<int>(snapshot.adjacency.size()); ++u) {
+        for (const auto& e : snapshot.adjacency[static_cast<std::size_t>(u)]) {
+            if (e.to <= u) continue;
+            link_load link;
+            link.a = u;
+            link.b = e.to;
+            link.latency_s = e.latency_s;
+            link.uplink = u >= snapshot.n_satellites || e.to >= snapshot.n_satellites;
+            link.capacity_gbps = link.uplink ? options.uplink_capacity_gbps
+                                             : options.isl_capacity_gbps;
+            table.id.emplace(edge_table::key(u, e.to),
+                             static_cast<int>(table.links.size()));
+            table.links.push_back(link);
+        }
+    }
+    return table;
+}
+
+/// Congestion-penalized weight graph over the live links: saturated links
+/// drop out, loaded links weigh latency * (1 + penalty * utilization).
+/// Positions are not copied — Dijkstra reads only the adjacency.
+lsn::network_snapshot make_weight_graph(const lsn::network_snapshot& snapshot,
+                                        const edge_table& table,
+                                        const capacity_options& options)
+{
+    lsn::network_snapshot weights;
+    weights.n_satellites = snapshot.n_satellites;
+    weights.n_ground = snapshot.n_ground;
+    weights.adjacency.resize(snapshot.adjacency.size());
+    for (int u = 0; u < static_cast<int>(snapshot.adjacency.size()); ++u) {
+        auto& out = weights.adjacency[static_cast<std::size_t>(u)];
+        for (const auto& e : snapshot.adjacency[static_cast<std::size_t>(u)]) {
+            const auto& link = table.links[static_cast<std::size_t>(table.id_of(u, e.to))];
+            if (link.capacity_gbps - link.load_gbps <= flow_eps_gbps) continue;
+            out.push_back({e.to, e.latency_s * (1.0 + options.congestion_penalty *
+                                                          link.utilization())});
+        }
+    }
+    return weights;
+}
+
+/// Route as much of `remaining` as fits along `path` (node indices),
+/// bounded by the bottleneck residual capacity. Returns the flow placed.
+double place_flow_on_path(const std::vector<int>& path, double remaining,
+                          edge_table& table, double& latency_flow_sum_s)
+{
+    if (path.size() < 2) return 0.0;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    double path_latency_s = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const auto& link =
+            table.links[static_cast<std::size_t>(table.id_of(path[i - 1], path[i]))];
+        bottleneck = std::min(bottleneck, link.capacity_gbps - link.load_gbps);
+        path_latency_s += link.latency_s;
+    }
+    const double flow = std::min(remaining, bottleneck);
+    if (flow <= flow_eps_gbps) return 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i)
+        table.links[static_cast<std::size_t>(table.id_of(path[i - 1], path[i]))]
+            .load_gbps += flow;
+    latency_flow_sum_s += flow * path_latency_s;
+    return flow;
+}
+
+/// Reduce link loads and delivered totals into the result metrics.
+flow_result finalize(const traffic_matrix& matrix, edge_table table,
+                     std::vector<double> pair_delivered, double offered,
+                     double delivered, double latency_flow_sum_s,
+                     const capacity_options& options)
+{
+    flow_result result;
+    result.n_stations = matrix.n_stations;
+    result.offered_gbps = offered;
+    result.delivered_gbps = delivered;
+    result.delivered_fraction = offered > 0.0 ? delivered / offered : 1.0;
+    result.latency_flow_sum_gbps_s = latency_flow_sum_s;
+    result.mean_path_latency_ms =
+        delivered > 0.0 ? latency_flow_sum_s / delivered * 1000.0 : 0.0;
+    result.pair_delivered_gbps = std::move(pair_delivered);
+    result.links = std::move(table.links);
+    result.n_links = static_cast<int>(result.links.size());
+
+    std::vector<double> utilization;
+    utilization.reserve(result.links.size());
+    for (const auto& link : result.links) utilization.push_back(link.utilization());
+    std::sort(utilization.begin(), utilization.end());
+    result.mean_utilization = mean(utilization);
+    result.p95_utilization = percentile_sorted(utilization, 95.0);
+    result.max_utilization = utilization.empty() ? 0.0 : utilization.back();
+    result.congested_links = static_cast<int>(std::count_if(
+        utilization.begin(), utilization.end(),
+        [&](double u) { return u >= options.congested_threshold; }));
+    return result;
+}
+
+/// Shared skeleton of the fast and naive paths. `route_pair(weights, round,
+/// a, b)` returns the path for one pair; the fast path serves it from a
+/// per-(round, source) tree, the naive one from a fresh point-to-point
+/// Dijkstra. When `rebuild_per_pair` is set the weight graph is rebuilt
+/// from live loads before every query instead of once per round.
+template <class RoutePair>
+flow_result run_rounds(const lsn::network_snapshot& snapshot,
+                       const traffic_matrix& matrix,
+                       const capacity_options& options, bool rebuild_per_pair,
+                       RoutePair&& route_pair)
+{
+    expects(matrix.n_stations == snapshot.n_ground,
+            "traffic matrix does not match snapshot ground set");
+    expects(options.k_rounds > 0, "need at least one assignment round");
+    expects(options.isl_capacity_gbps > 0.0 && options.uplink_capacity_gbps > 0.0,
+            "link capacities must be positive");
+
+    const int n = matrix.n_stations;
+    edge_table table = build_edge_table(snapshot, options);
+
+    std::vector<double> remaining(matrix.demand_gbps);
+    std::vector<double> pair_delivered(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+    const auto at = [n](std::vector<double>& m, int a, int b) -> double& {
+        return m[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(b)];
+    };
+
+    double offered = 0.0;
+    for (int a = 0; a + 1 < n; ++a)
+        for (int b = a + 1; b < n; ++b) offered += at(remaining, a, b);
+
+    double delivered = 0.0;
+    double latency_flow_sum_s = 0.0;
+    double total_remaining = offered;
+    for (int round = 0; round < options.k_rounds && total_remaining > flow_eps_gbps;
+         ++round) {
+        double round_flow = 0.0;
+        lsn::network_snapshot weights;
+        if (!rebuild_per_pair) weights = make_weight_graph(snapshot, table, options);
+        for (int a = 0; a + 1 < n; ++a) {
+            for (int b = a + 1; b < n; ++b) {
+                double& pair_remaining = at(remaining, a, b);
+                if (pair_remaining <= flow_eps_gbps) continue;
+                if (rebuild_per_pair)
+                    weights = make_weight_graph(snapshot, table, options);
+                const auto path = route_pair(weights, round, a, b);
+                const double flow = place_flow_on_path(path, pair_remaining, table,
+                                                       latency_flow_sum_s);
+                if (flow <= 0.0) continue;
+                pair_remaining -= flow;
+                total_remaining -= flow;
+                delivered += flow;
+                round_flow += flow;
+                at(pair_delivered, a, b) += flow;
+                at(pair_delivered, b, a) += flow;
+            }
+        }
+        // A zero-yield round changed no load, so every later round would
+        // recompute identical graphs and trees to place nothing: stop.
+        if (round_flow <= flow_eps_gbps) break;
+    }
+    return finalize(matrix, std::move(table), std::move(pair_delivered), offered,
+                    delivered, latency_flow_sum_s, options);
+}
+
+} // namespace
+
+flow_result assign_flows(const lsn::network_snapshot& snapshot,
+                         const traffic_matrix& matrix,
+                         const capacity_options& options)
+{
+    // One Dijkstra tree per source serves every pair of that source this
+    // round; trees are computed lazily so exhausted sources cost nothing.
+    lsn::route_tree tree;
+    int tree_source = -1;
+    int tree_round = -1;
+    return run_rounds(
+        snapshot, matrix, options, /*rebuild_per_pair=*/false,
+        [&](const lsn::network_snapshot& weights, int round, int a, int b) {
+            if (tree_source != a || tree_round != round) {
+                tree = lsn::single_source_routes(weights, weights.ground_node(a),
+                                                 /*ground_targets_only=*/true);
+                tree_source = a;
+                tree_round = round;
+            }
+            return tree.path_to(weights.ground_node(b));
+        });
+}
+
+flow_result assign_flows_per_pair_baseline(const lsn::network_snapshot& snapshot,
+                                           const traffic_matrix& matrix,
+                                           const capacity_options& options)
+{
+    return run_rounds(
+        snapshot, matrix, options, /*rebuild_per_pair=*/true,
+        [](const lsn::network_snapshot& weights, int, int a, int b) {
+            return lsn::shortest_route(weights, weights.ground_node(a),
+                                       weights.ground_node(b))
+                .path;
+        });
+}
+
+} // namespace ssplane::traffic

@@ -1,0 +1,128 @@
+#include "traffic/traffic_sweep.h"
+
+#include <algorithm>
+
+#include "util/expects.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace ssplane::traffic {
+
+traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
+                                       std::span<const double> offsets_s,
+                                       const std::vector<std::vector<vec3>>& positions,
+                                       const lsn::failure_scenario& scenario,
+                                       const demand::demand_model& demand,
+                                       const traffic_sweep_options& options)
+{
+    expects(positions.size() == offsets_s.size(),
+            "positions must cover every sweep offset");
+    const auto failed = lsn::sample_failures(builder.topology(), scenario);
+    const int n_steps = static_cast<int>(offsets_s.size());
+
+    // Per-step result slots: each step writes only its own entry, so the
+    // parallel chunking never affects the serial reduction below.
+    struct step_result {
+        double offered_gbps = 0.0;
+        double delivered_gbps = 0.0;
+        double latency_flow_sum_s = 0.0;
+        int congested_links = 0;
+        int n_links = 0;
+        double p95_utilization = 0.0;
+        std::vector<double> utilization; ///< Per-link, assignment order.
+    };
+    std::vector<step_result> per_step(static_cast<std::size_t>(n_steps));
+    parallel_for(static_cast<std::size_t>(n_steps),
+                 [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                         auto& slot = per_step[i];
+                         const auto t = builder.epoch().plus_seconds(offsets_s[i]);
+                         const auto matrix = build_traffic_matrix(
+                             demand, builder.stations(), t, options.matrix);
+                         const auto snap =
+                             builder.snapshot_from_positions(positions[i], failed);
+                         const auto flow =
+                             assign_flows(snap, matrix, options.capacity);
+                         slot.offered_gbps = flow.offered_gbps;
+                         slot.delivered_gbps = flow.delivered_gbps;
+                         slot.latency_flow_sum_s = flow.latency_flow_sum_gbps_s;
+                         slot.congested_links = flow.congested_links;
+                         slot.n_links = flow.n_links;
+                         slot.p95_utilization = flow.p95_utilization;
+                         slot.utilization.reserve(flow.links.size());
+                         for (const auto& link : flow.links)
+                             slot.utilization.push_back(link.utilization());
+                     }
+                 });
+
+    traffic_sweep_result result;
+    result.n_steps = n_steps;
+    result.n_stations = builder.n_ground();
+    result.step_offered_gbps.reserve(per_step.size());
+    result.step_delivered_fraction.reserve(per_step.size());
+    result.step_p95_utilization.reserve(per_step.size());
+
+    double offered_sum = 0.0;
+    double delivered_sum = 0.0;
+    double latency_flow_sum_s = 0.0;
+    double congested_fraction_sum = 0.0;
+    std::vector<double> pooled_utilization; // (step, link) order — deterministic
+    for (const auto& step : per_step) {
+        offered_sum += step.offered_gbps;
+        delivered_sum += step.delivered_gbps;
+        latency_flow_sum_s += step.latency_flow_sum_s;
+        if (step.n_links > 0)
+            congested_fraction_sum +=
+                static_cast<double>(step.congested_links) / step.n_links;
+        pooled_utilization.insert(pooled_utilization.end(), step.utilization.begin(),
+                                  step.utilization.end());
+        result.step_offered_gbps.push_back(step.offered_gbps);
+        result.step_delivered_fraction.push_back(
+            step.offered_gbps > 0.0 ? step.delivered_gbps / step.offered_gbps : 1.0);
+        result.step_p95_utilization.push_back(step.p95_utilization);
+    }
+
+    auto& m = result.metrics;
+    if (n_steps > 0) {
+        m.offered_gbps_mean = offered_sum / n_steps;
+        m.delivered_gbps_mean = delivered_sum / n_steps;
+        m.congested_link_fraction = congested_fraction_sum / n_steps;
+    }
+    // Matches flow_result's convention: no offered load = vacuously delivered
+    // (an empty sweep stays 0, like every other metric of a zero-step run).
+    m.delivered_fraction = offered_sum > 0.0 ? delivered_sum / offered_sum
+                                             : (n_steps > 0 ? 1.0 : 0.0);
+    m.mean_path_latency_ms =
+        delivered_sum > 0.0 ? latency_flow_sum_s / delivered_sum * 1000.0 : 0.0;
+    if (!pooled_utilization.empty()) {
+        m.mean_link_utilization = mean(pooled_utilization);
+        std::sort(pooled_utilization.begin(), pooled_utilization.end());
+        m.p95_link_utilization = percentile_sorted(pooled_utilization, 95.0);
+        m.max_link_utilization = pooled_utilization.back();
+    }
+    return result;
+}
+
+traffic_sweep_result run_traffic_sweep(const lsn::lsn_topology& topology,
+                                       const std::vector<lsn::ground_station>& stations,
+                                       const astro::instant& epoch,
+                                       const lsn::failure_scenario& scenario,
+                                       const demand::demand_model& demand,
+                                       const lsn::scenario_sweep_options& sweep,
+                                       const traffic_sweep_options& options)
+{
+    const lsn::snapshot_builder builder(topology, stations, epoch,
+                                        sweep.min_elevation_rad, sweep.max_isl_range_m);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    return run_traffic_sweep(builder, offsets, builder.positions_at_offsets(offsets),
+                             scenario, demand, options);
+}
+
+double delivered_throughput_ratio(const traffic_sweep_result& baseline,
+                                  const traffic_sweep_result& scenario)
+{
+    if (baseline.metrics.delivered_gbps_mean <= 0.0) return 0.0;
+    return scenario.metrics.delivered_gbps_mean / baseline.metrics.delivered_gbps_mean;
+}
+
+} // namespace ssplane::traffic

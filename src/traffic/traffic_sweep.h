@@ -1,0 +1,83 @@
+// Delivered-capacity sweeps over failure scenarios — the traffic companion
+// to `lsn::run_scenario_sweep` (ROADMAP "heavy traffic" north star).
+//
+// Rides the same batched machinery as the survivability engine: one
+// `lsn::snapshot_builder` + one `positions_at_offsets` pass serve every
+// scenario, failure masks come from `lsn::sample_failures`, and per-step
+// work (diurnal gravity matrix at that step's instant, snapshot assembly,
+// capacity-aware flow assignment) fans out over `util/parallel` with
+// per-step result slots, so any `SSPLANE_THREADS` value reproduces the
+// metrics bit-for-bit.
+#ifndef SSPLANE_TRAFFIC_TRAFFIC_SWEEP_H
+#define SSPLANE_TRAFFIC_TRAFFIC_SWEEP_H
+
+#include <span>
+#include <vector>
+
+#include "lsn/scenario.h"
+#include "traffic/flow_assignment.h"
+#include "traffic/traffic_matrix.h"
+
+namespace ssplane::traffic {
+
+/// Matrix shape and link capacities of a traffic sweep.
+struct traffic_sweep_options {
+    traffic_matrix_options matrix{};
+    capacity_options capacity{};
+};
+
+/// Scalar delivered-capacity metrics over the sweep window.
+struct traffic_metrics {
+    double offered_gbps_mean = 0.0;    ///< Mean offered load over steps.
+    double delivered_gbps_mean = 0.0;  ///< Mean delivered load over steps.
+    double delivered_fraction = 0.0;   ///< Pooled: sum delivered / sum offered;
+                                       ///< 1 when nothing was offered.
+    double mean_path_latency_ms = 0.0; ///< Flow-weighted over all delivered traffic.
+    double mean_link_utilization = 0.0;  ///< Over (link, step) samples.
+    double p95_link_utilization = 0.0;   ///< Over (link, step) samples.
+    double max_link_utilization = 0.0;
+    double congested_link_fraction = 0.0; ///< Mean fraction of links congested.
+};
+
+/// Full sweep output: scalar metrics plus per-step traces.
+struct traffic_sweep_result {
+    traffic_metrics metrics;
+    int n_steps = 0;
+    int n_stations = 0;
+    std::vector<double> step_offered_gbps;
+    std::vector<double> step_delivered_fraction;
+    std::vector<double> step_p95_utilization;
+};
+
+/// Sweep one failure scenario over a prebuilt builder and its
+/// `positions_at_offsets(offsets_s)` output (mirrors the batched
+/// `run_scenario_sweep` overload, so callers share one propagation pass
+/// between survivability and traffic metrics). The traffic matrix is
+/// rebuilt at every step's instant, so offered load follows the diurnal
+/// cycle across the gateways.
+traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
+                                       std::span<const double> offsets_s,
+                                       const std::vector<std::vector<vec3>>& positions,
+                                       const lsn::failure_scenario& scenario,
+                                       const demand::demand_model& demand,
+                                       const traffic_sweep_options& options = {});
+
+/// Convenience overload that builds the builder and propagation pass
+/// itself, mirroring the one-shot `run_scenario_sweep` signature.
+traffic_sweep_result run_traffic_sweep(const lsn::lsn_topology& topology,
+                                       const std::vector<lsn::ground_station>& stations,
+                                       const astro::instant& epoch,
+                                       const lsn::failure_scenario& scenario,
+                                       const demand::demand_model& demand,
+                                       const lsn::scenario_sweep_options& sweep = {},
+                                       const traffic_sweep_options& options = {});
+
+/// Delivered-throughput ratio of `scenario` to `baseline` (1 = no loss,
+/// < 1 = capacity lost to the failures). 0 when the baseline delivered
+/// nothing.
+double delivered_throughput_ratio(const traffic_sweep_result& baseline,
+                                  const traffic_sweep_result& scenario);
+
+} // namespace ssplane::traffic
+
+#endif // SSPLANE_TRAFFIC_TRAFFIC_SWEEP_H

@@ -36,10 +36,9 @@ double max_value(std::span<const double> xs) noexcept
     return *std::max_element(xs.begin(), xs.end());
 }
 
-namespace {
-
 double percentile_sorted(std::span<const double> sorted, double p)
 {
+    expects(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
     const auto n = sorted.size();
     if (n == 0) return 0.0;
     if (n == 1) return sorted[0];
@@ -49,8 +48,6 @@ double percentile_sorted(std::span<const double> sorted, double p)
     const double frac = rank - static_cast<double>(lo);
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
-
-} // namespace
 
 double percentile(std::span<const double> xs, double p)
 {

@@ -23,6 +23,11 @@ double max_value(std::span<const double> xs) noexcept;
 /// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
 double percentile(std::span<const double> xs, double p);
 
+/// Linear-interpolated percentile over an already ascending-sorted sample —
+/// callers that need several percentiles of one sample sort once and avoid
+/// the per-call copy+sort of `percentile`. p in [0, 100]; 0 for empty input.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Median (50th percentile).
 double median(std::span<const double> xs);
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lsn/scenario.h"
+#include "util/angles.h"
 #include "util/expects.h"
 
 namespace ssplane::lsn {
@@ -108,6 +110,91 @@ TEST(Routing, SingleSourceOnDisconnectedSnapshot)
     EXPECT_EQ(dist[2], std::numeric_limits<double>::infinity());
     EXPECT_EQ(dist[3], std::numeric_limits<double>::infinity());
     EXPECT_THROW(single_source_latencies(snap, 9), contract_violation);
+}
+
+TEST(Routing, RouteTreeMatchesPointQueries)
+{
+    const auto snap = line_graph();
+    const auto tree = single_source_routes(snap, 0);
+    ASSERT_EQ(tree.latency_s.size(), 4u);
+    EXPECT_EQ(tree.source, 0);
+    for (int v = 0; v < 4; ++v) {
+        const auto route = shortest_route(snap, 0, v);
+        ASSERT_TRUE(tree.reachable(v));
+        EXPECT_DOUBLE_EQ(tree.latency_s[static_cast<std::size_t>(v)], route.latency_s);
+        EXPECT_EQ(tree.path_to(v), route.path);
+    }
+    EXPECT_THROW(tree.path_to(9), contract_violation);
+}
+
+TEST(Routing, RouteTreeOnDisconnectedSnapshot)
+{
+    network_snapshot snap;
+    snap.n_satellites = 3;
+    snap.positions_ecef_m.resize(3);
+    snap.adjacency.resize(3);
+    snap.adjacency[0].push_back({1, 0.001});
+    snap.adjacency[1].push_back({0, 0.001});
+    const auto tree = single_source_routes(snap, 0);
+    EXPECT_TRUE(tree.reachable(1));
+    EXPECT_FALSE(tree.reachable(2));
+    EXPECT_TRUE(tree.path_to(2).empty());
+}
+
+TEST(Routing, PathConsistencyOnSampledSnapshot)
+{
+    // All station pairs of a real (sparse, partially disconnected) snapshot:
+    // the point query and the single-source pass must agree exactly,
+    // including on unreachable pairs.
+    constellation::walker_parameters params;
+    params.altitude_m = 550.0e3;
+    params.inclination_rad = deg2rad(53.0);
+    params.n_planes = 10;
+    params.sats_per_plane = 10;
+    params.phasing_f = 1;
+    const auto topo = build_walker_grid_topology(params);
+    // Mid-latitude metros connect through this grid; Anchorage (61°N) sits
+    // above the 53°-inclination coverage band, so the disconnected branch
+    // is exercised too.
+    const auto stations = default_ground_stations();
+    const auto snap = snapshot_at(topo, stations, astro::instant::j2000(),
+                                  astro::instant::j2000(), deg2rad(25.0));
+
+    const int n = static_cast<int>(stations.size());
+    bool any_reachable = false;
+    bool any_unreachable = false;
+    for (int a = 0; a < n; ++a) {
+        const auto dist = single_source_latencies(snap, snap.ground_node(a));
+        const auto tree = single_source_routes(snap, snap.ground_node(a));
+        for (int b = 0; b < n; ++b) {
+            if (b == a) continue;
+            const auto route = ground_route(snap, a, b);
+            const double d = dist[static_cast<std::size_t>(snap.ground_node(b))];
+            EXPECT_EQ(tree.latency_s[static_cast<std::size_t>(snap.ground_node(b))], d);
+            if (route.reachable) {
+                any_reachable = true;
+                EXPECT_DOUBLE_EQ(route.latency_s, d);
+            } else {
+                any_unreachable = true;
+                EXPECT_EQ(d, std::numeric_limits<double>::infinity());
+            }
+        }
+    }
+    EXPECT_TRUE(any_reachable);
+    EXPECT_TRUE(any_unreachable);
+}
+
+TEST(Routing, GroundRouteRejectsOutOfRangeIndices)
+{
+    network_snapshot snap;
+    snap.n_satellites = 1;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(3);
+    snap.adjacency.resize(3);
+    EXPECT_THROW(ground_route(snap, -1, 1), contract_violation);
+    EXPECT_THROW(ground_route(snap, 0, 2), contract_violation);
+    EXPECT_THROW(snap.ground_node(-1), contract_violation);
+    EXPECT_THROW(snap.ground_node(2), contract_violation);
 }
 
 TEST(Routing, GroundRouteUsesGroundIndices)

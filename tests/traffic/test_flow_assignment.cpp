@@ -1,0 +1,155 @@
+#include "traffic/flow_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::traffic {
+namespace {
+
+void add_edge(lsn::network_snapshot& snap, int a, int b, double latency_ms)
+{
+    snap.adjacency[static_cast<std::size_t>(a)].push_back({b, latency_ms / 1000.0});
+    snap.adjacency[static_cast<std::size_t>(b)].push_back({a, latency_ms / 1000.0});
+}
+
+/// ground0 -- sat0 -- sat1 -- ground1 chain (one path, one ISL).
+lsn::network_snapshot chain_snapshot()
+{
+    lsn::network_snapshot snap;
+    snap.n_satellites = 2;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(4);
+    snap.adjacency.resize(4);
+    add_edge(snap, 2, 0, 3.0); // g0 - s0 uplink
+    add_edge(snap, 0, 1, 5.0); // s0 - s1 ISL
+    add_edge(snap, 1, 3, 3.0); // s1 - g1 uplink
+    return snap;
+}
+
+traffic_matrix single_pair_matrix(double demand_gbps)
+{
+    traffic_matrix matrix;
+    matrix.n_stations = 2;
+    matrix.demand_gbps = {0.0, demand_gbps, demand_gbps, 0.0};
+    matrix.total_gbps = demand_gbps;
+    return matrix;
+}
+
+TEST(FlowAssignment, DeliversWithinCapacity)
+{
+    capacity_options opts;
+    opts.isl_capacity_gbps = 20.0;
+    opts.uplink_capacity_gbps = 40.0;
+    const auto result = assign_flows(chain_snapshot(), single_pair_matrix(10.0), opts);
+
+    EXPECT_DOUBLE_EQ(result.offered_gbps, 10.0);
+    EXPECT_DOUBLE_EQ(result.delivered_gbps, 10.0);
+    EXPECT_DOUBLE_EQ(result.delivered_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(result.pair_delivered(0, 1), 10.0);
+    EXPECT_EQ(result.n_links, 3);
+    EXPECT_EQ(result.congested_links, 0);
+    // The single ISL carries the whole flow at 10/20 utilization; it is the
+    // most loaded link on the path.
+    EXPECT_DOUBLE_EQ(result.max_utilization, 0.5);
+    EXPECT_NEAR(result.mean_path_latency_ms, 11.0, 1e-12);
+}
+
+TEST(FlowAssignment, CapacityBoundsDeliveredThroughput)
+{
+    capacity_options opts;
+    opts.isl_capacity_gbps = 6.0;
+    opts.uplink_capacity_gbps = 40.0;
+    opts.k_rounds = 4;
+    const auto result = assign_flows(chain_snapshot(), single_pair_matrix(10.0), opts);
+
+    // The only path's bottleneck is the 6 Gbps ISL; the spill has nowhere
+    // to go in later rounds.
+    EXPECT_DOUBLE_EQ(result.delivered_gbps, 6.0);
+    EXPECT_DOUBLE_EQ(result.delivered_fraction, 0.6);
+    EXPECT_EQ(result.congested_links, 1);
+    EXPECT_DOUBLE_EQ(result.max_utilization, 1.0);
+}
+
+/// Two disjoint ground-to-ground paths: via sat0 (shorter) or sat1.
+lsn::network_snapshot diamond_snapshot()
+{
+    lsn::network_snapshot snap;
+    snap.n_satellites = 2;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(4);
+    snap.adjacency.resize(4);
+    add_edge(snap, 2, 0, 3.0); // g0 - s0
+    add_edge(snap, 0, 3, 3.0); // s0 - g1  (total 6 ms)
+    add_edge(snap, 2, 1, 4.0); // g0 - s1
+    add_edge(snap, 1, 3, 4.0); // s1 - g1  (total 8 ms)
+    return snap;
+}
+
+TEST(FlowAssignment, SpillsToAlternatePathsAcrossRounds)
+{
+    capacity_options opts;
+    opts.uplink_capacity_gbps = 10.0;
+    opts.isl_capacity_gbps = 10.0;
+    opts.k_rounds = 2;
+    const auto result = assign_flows(diamond_snapshot(), single_pair_matrix(15.0), opts);
+
+    // Round 1 fills the short path (10), round 2 spills 5 onto the long one.
+    EXPECT_DOUBLE_EQ(result.delivered_gbps, 15.0);
+    EXPECT_DOUBLE_EQ(result.delivered_fraction, 1.0);
+    EXPECT_NEAR(result.mean_path_latency_ms, (10.0 * 6.0 + 5.0 * 8.0) / 15.0, 1e-12);
+
+    // A single round can only use the shortest path.
+    opts.k_rounds = 1;
+    const auto one_round =
+        assign_flows(diamond_snapshot(), single_pair_matrix(15.0), opts);
+    EXPECT_DOUBLE_EQ(one_round.delivered_gbps, 10.0);
+}
+
+TEST(FlowAssignment, UnreachablePairsDeliverNothing)
+{
+    lsn::network_snapshot snap;
+    snap.n_satellites = 1;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(3);
+    snap.adjacency.resize(3);
+    add_edge(snap, 1, 0, 3.0); // only g0 sees the satellite
+
+    const auto result = assign_flows(snap, single_pair_matrix(10.0));
+    EXPECT_DOUBLE_EQ(result.delivered_gbps, 0.0);
+    EXPECT_DOUBLE_EQ(result.delivered_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(result.pair_delivered(0, 1), 0.0);
+}
+
+TEST(FlowAssignment, NaiveBaselineAgreesOnSimpleGraphs)
+{
+    capacity_options opts;
+    opts.isl_capacity_gbps = 6.0;
+    opts.uplink_capacity_gbps = 40.0;
+    const auto fast = assign_flows(chain_snapshot(), single_pair_matrix(10.0), opts);
+    const auto naive =
+        assign_flows_per_pair_baseline(chain_snapshot(), single_pair_matrix(10.0), opts);
+    EXPECT_DOUBLE_EQ(fast.delivered_gbps, naive.delivered_gbps);
+    EXPECT_DOUBLE_EQ(fast.mean_path_latency_ms, naive.mean_path_latency_ms);
+
+    const auto fast_d = assign_flows(diamond_snapshot(), single_pair_matrix(15.0));
+    const auto naive_d =
+        assign_flows_per_pair_baseline(diamond_snapshot(), single_pair_matrix(15.0));
+    EXPECT_DOUBLE_EQ(fast_d.delivered_gbps, naive_d.delivered_gbps);
+}
+
+TEST(FlowAssignment, RejectsMismatchedMatrix)
+{
+    traffic_matrix matrix;
+    matrix.n_stations = 3;
+    matrix.demand_gbps.assign(9, 0.0);
+    EXPECT_THROW(assign_flows(chain_snapshot(), matrix), contract_violation);
+
+    capacity_options opts;
+    opts.k_rounds = 0;
+    EXPECT_THROW(assign_flows(chain_snapshot(), single_pair_matrix(1.0), opts),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::traffic

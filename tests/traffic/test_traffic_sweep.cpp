@@ -1,0 +1,124 @@
+#include "traffic/traffic_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "util/angles.h"
+#include "util/parallel.h"
+
+namespace ssplane::traffic {
+namespace {
+
+const demand::population_model& test_population()
+{
+    static const demand::population_model model;
+    return model;
+}
+
+lsn::lsn_topology small_walker()
+{
+    constellation::walker_parameters params;
+    params.altitude_m = 550.0e3;
+    params.inclination_rad = deg2rad(53.0);
+    params.n_planes = 6;
+    params.sats_per_plane = 8;
+    params.phasing_f = 1;
+    return lsn::build_walker_grid_topology(params);
+}
+
+lsn::scenario_sweep_options short_sweep()
+{
+    lsn::scenario_sweep_options sweep;
+    sweep.duration_s = 7200.0;
+    sweep.step_s = 1800.0;
+    sweep.min_elevation_rad = deg2rad(25.0);
+    return sweep;
+}
+
+TEST(TrafficSweep, ProducesSaneBaselineMetrics)
+{
+    const demand::demand_model model(test_population());
+    const auto topo = small_walker();
+    const auto stations = stations_from_cities(4);
+    const auto result =
+        run_traffic_sweep(topo, stations, astro::instant::j2000(), {}, model,
+                          short_sweep());
+
+    EXPECT_EQ(result.n_steps, 4);
+    EXPECT_EQ(result.n_stations, 4);
+    ASSERT_EQ(result.step_offered_gbps.size(), 4u);
+    ASSERT_EQ(result.step_delivered_fraction.size(), 4u);
+    ASSERT_EQ(result.step_p95_utilization.size(), 4u);
+    EXPECT_GT(result.metrics.offered_gbps_mean, 0.0);
+    EXPECT_GE(result.metrics.delivered_fraction, 0.0);
+    EXPECT_LE(result.metrics.delivered_fraction, 1.0 + 1e-12);
+    EXPECT_GE(result.metrics.max_link_utilization, result.metrics.p95_link_utilization);
+    for (double f : result.step_delivered_fraction) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0 + 1e-12);
+    }
+}
+
+TEST(TrafficSweep, MassiveLossReducesDeliveredThroughput)
+{
+    const demand::demand_model model(test_population());
+    const auto topo = small_walker();
+    const auto stations = stations_from_cities(4);
+    const auto epoch = astro::instant::j2000();
+
+    const lsn::snapshot_builder builder(topo, stations, epoch,
+                                        short_sweep().min_elevation_rad);
+    const auto offsets =
+        lsn::sweep_offsets(short_sweep().duration_s, short_sweep().step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+
+    const auto baseline = run_traffic_sweep(builder, offsets, positions, {}, model);
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.6;
+    loss.seed = 7;
+    const auto degraded = run_traffic_sweep(builder, offsets, positions, loss, model);
+
+    const double ratio = delivered_throughput_ratio(baseline, degraded);
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LT(ratio, 1.0);
+    // Offered load is a property of the demand model, not the network.
+    EXPECT_DOUBLE_EQ(degraded.metrics.offered_gbps_mean,
+                     baseline.metrics.offered_gbps_mean);
+}
+
+TEST(TrafficSweep, BitIdenticalAcrossThreadCounts)
+{
+    const demand::demand_model model(test_population());
+    const auto topo = small_walker();
+    const auto stations = stations_from_cities(4);
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.25;
+    loss.seed = 3;
+
+    const auto run_with = [&](unsigned threads) {
+        set_thread_count(threads);
+        const auto result = run_traffic_sweep(topo, stations, astro::instant::j2000(),
+                                              loss, model, short_sweep());
+        set_thread_count(0);
+        return result;
+    };
+    const auto one = run_with(1);
+    const auto two = run_with(2);
+
+    EXPECT_EQ(one.metrics.offered_gbps_mean, two.metrics.offered_gbps_mean);
+    EXPECT_EQ(one.metrics.delivered_gbps_mean, two.metrics.delivered_gbps_mean);
+    EXPECT_EQ(one.metrics.delivered_fraction, two.metrics.delivered_fraction);
+    EXPECT_EQ(one.metrics.mean_path_latency_ms, two.metrics.mean_path_latency_ms);
+    EXPECT_EQ(one.metrics.mean_link_utilization, two.metrics.mean_link_utilization);
+    EXPECT_EQ(one.metrics.p95_link_utilization, two.metrics.p95_link_utilization);
+    EXPECT_EQ(one.metrics.max_link_utilization, two.metrics.max_link_utilization);
+    EXPECT_EQ(one.metrics.congested_link_fraction,
+              two.metrics.congested_link_fraction);
+    EXPECT_EQ(one.step_offered_gbps, two.step_offered_gbps);
+    EXPECT_EQ(one.step_delivered_fraction, two.step_delivered_fraction);
+    EXPECT_EQ(one.step_p95_utilization, two.step_p95_utilization);
+}
+
+} // namespace
+} // namespace ssplane::traffic

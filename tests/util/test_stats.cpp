@@ -1,5 +1,6 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -88,6 +89,26 @@ TEST(Stats, LinspaceLogspaceValidation)
     EXPECT_THROW(linspace(0.0, 1.0, 1), contract_violation);
     EXPECT_THROW(logspace(0.0, 1.0, 3), contract_violation);
     EXPECT_THROW(logspace(1.0, -1.0, 3), contract_violation);
+}
+
+TEST(Stats, PercentileSortedMatchesPercentile)
+{
+    const std::vector<double> unsorted = {9.0, 1.0, 5.0, 3.0, 7.0, 2.0};
+    std::vector<double> sorted = unsorted;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 95.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile_sorted(sorted, p), percentile(unsorted, p));
+}
+
+TEST(Stats, PercentileSortedEdgeCases)
+{
+    EXPECT_EQ(percentile_sorted({}, 50.0), 0.0);
+    const std::vector<double> one = {4.0};
+    EXPECT_EQ(percentile_sorted(one, 95.0), 4.0);
+    const std::vector<double> two = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile_sorted(two, 50.0), 2.0);
+    EXPECT_THROW(percentile_sorted(two, -1.0), contract_violation);
+    EXPECT_THROW(percentile_sorted(two, 101.0), contract_violation);
 }
 
 } // namespace
