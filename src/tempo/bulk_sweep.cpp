@@ -1,0 +1,67 @@
+#include "tempo/bulk_sweep.h"
+
+#include <algorithm>
+
+namespace ssplane::tempo {
+
+bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
+                                 std::span<const double> offsets_s,
+                                 const std::vector<std::vector<vec3>>& positions,
+                                 const lsn::failure_scenario& scenario,
+                                 std::span<const bulk_transfer_request> requests,
+                                 const bulk_route_options& options)
+{
+    const auto failed = lsn::sample_failures(builder.topology(), scenario);
+    auto graph =
+        build_time_expanded_graph(builder, offsets_s, positions, failed, options);
+
+    bulk_sweep_result result;
+    result.n_steps = graph.n_steps;
+    result.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    result.routing = route_bulk_transfers(graph, requests);
+    return result;
+}
+
+bulk_sweep_result run_bulk_sweep(const lsn::lsn_topology& topology,
+                                 const std::vector<lsn::ground_station>& stations,
+                                 const astro::instant& epoch,
+                                 const lsn::failure_scenario& scenario,
+                                 std::span<const bulk_transfer_request> requests,
+                                 const lsn::scenario_sweep_options& sweep,
+                                 const bulk_route_options& options)
+{
+    const lsn::snapshot_builder builder(topology, stations, epoch,
+                                        sweep.min_elevation_rad, sweep.max_isl_range_m);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    return run_bulk_sweep(builder, offsets, builder.positions_at_offsets(offsets),
+                          scenario, requests, options);
+}
+
+bulk_sweep_result run_bulk_sweep_per_step_baseline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_scenario& scenario,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options)
+{
+    validate(options); // fail before paying the parallel materialization
+    const auto failed = lsn::sample_failures(builder.topology(), scenario);
+    const auto snapshots =
+        materialize_snapshots(builder, offsets_s, positions, failed);
+
+    bulk_sweep_result result;
+    result.n_steps = static_cast<int>(offsets_s.size());
+    result.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    result.routing = route_bulk_transfers_per_step_baseline(snapshots, offsets_s,
+                                                            requests, options);
+    return result;
+}
+
+double delivered_volume_ratio(const bulk_sweep_result& baseline,
+                              const bulk_sweep_result& scenario)
+{
+    if (baseline.routing.delivered_gb <= 0.0) return 0.0;
+    return scenario.routing.delivered_gb / baseline.routing.delivered_gb;
+}
+
+} // namespace ssplane::tempo

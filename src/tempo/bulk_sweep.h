@@ -1,0 +1,68 @@
+// Delay-tolerant bulk-delivery sweeps over failure scenarios — the
+// store-and-forward companion to `traffic::run_traffic_sweep` (ROADMAP
+// "time-expanded routing").
+//
+// Rides the same batched machinery as the survivability and traffic
+// engines: one `lsn::snapshot_builder` + one `positions_at_offsets` pass
+// serve every scenario, failure masks come from `lsn::sample_failures`,
+// and per-step snapshot materialization fans out over `util/parallel` with
+// per-step slots — so any `SSPLANE_THREADS` value reproduces the result
+// bit-for-bit. The routing itself (`route_bulk_transfers`) is serial and
+// deterministic by construction.
+#ifndef SSPLANE_TEMPO_BULK_SWEEP_H
+#define SSPLANE_TEMPO_BULK_SWEEP_H
+
+#include <span>
+#include <vector>
+
+#include "tempo/bulk_router.h"
+
+namespace ssplane::tempo {
+
+/// Full sweep output: the routing result plus sweep/scenario context.
+struct bulk_sweep_result {
+    bulk_route_result routing; ///< Per-request slots, totals, buffer marks.
+    int n_steps = 0;
+    int n_failed = 0; ///< Satellites removed by the scenario.
+};
+
+/// Route `requests` over the time-expanded graph of one failure scenario,
+/// on a prebuilt builder and its `positions_at_offsets(offsets_s)` output
+/// (mirrors the batched `run_traffic_sweep` overload, so callers share one
+/// propagation pass across survivability, traffic and bulk sweeps).
+bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
+                                 std::span<const double> offsets_s,
+                                 const std::vector<std::vector<vec3>>& positions,
+                                 const lsn::failure_scenario& scenario,
+                                 std::span<const bulk_transfer_request> requests,
+                                 const bulk_route_options& options = {});
+
+/// Convenience overload that builds the builder and propagation pass
+/// itself, mirroring the one-shot `run_traffic_sweep` signature.
+bulk_sweep_result run_bulk_sweep(const lsn::lsn_topology& topology,
+                                 const std::vector<lsn::ground_station>& stations,
+                                 const astro::instant& epoch,
+                                 const lsn::failure_scenario& scenario,
+                                 std::span<const bulk_transfer_request> requests,
+                                 const lsn::scenario_sweep_options& sweep = {},
+                                 const bulk_route_options& options = {});
+
+/// The same scenario judged by the PR 3 snapshot-greedy replayed per epoch
+/// (no onboard buffering): the regression floor every store-and-forward
+/// gain is measured against.
+bulk_sweep_result run_bulk_sweep_per_step_baseline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_scenario& scenario,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options = {});
+
+/// Delivered-volume ratio of `scenario` to `baseline` (1 = no loss, < 1 =
+/// volume lost to the failures, > 1 = impossible by construction). 0 when
+/// the baseline delivered nothing.
+double delivered_volume_ratio(const bulk_sweep_result& baseline,
+                              const bulk_sweep_result& scenario);
+
+} // namespace ssplane::tempo
+
+#endif // SSPLANE_TEMPO_BULK_SWEEP_H

@@ -1,6 +1,7 @@
 #include "traffic/flow_assignment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
@@ -142,9 +143,7 @@ flow_result run_rounds(const lsn::network_snapshot& snapshot,
 {
     expects(matrix.n_stations == snapshot.n_ground,
             "traffic matrix does not match snapshot ground set");
-    expects(options.k_rounds > 0, "need at least one assignment round");
-    expects(options.isl_capacity_gbps > 0.0 && options.uplink_capacity_gbps > 0.0,
-            "link capacities must be positive");
+    validate(options);
 
     const int n = matrix.n_stations;
     edge_table table = build_edge_table(snapshot, options);
@@ -196,6 +195,22 @@ flow_result run_rounds(const lsn::network_snapshot& snapshot,
 }
 
 } // namespace
+
+void validate(const capacity_options& options)
+{
+    expects(std::isfinite(options.isl_capacity_gbps) &&
+                options.isl_capacity_gbps > 0.0,
+            "ISL capacity must be finite and positive");
+    expects(std::isfinite(options.uplink_capacity_gbps) &&
+                options.uplink_capacity_gbps > 0.0,
+            "uplink capacity must be finite and positive");
+    expects(options.k_rounds >= 1, "need at least one assignment round");
+    expects(std::isfinite(options.congestion_penalty) &&
+                options.congestion_penalty >= 0.0,
+            "congestion penalty must be finite and non-negative");
+    expects(options.congested_threshold > 0.0,
+            "congested threshold must be positive");
+}
 
 flow_result assign_flows(const lsn::network_snapshot& snapshot,
                          const traffic_matrix& matrix,

@@ -31,6 +31,14 @@ struct capacity_options {
     double congested_threshold = 0.999;
 };
 
+/// Reject degenerate capacity knobs — non-positive or non-finite link
+/// capacities, `k_rounds < 1`, a negative congestion penalty or a
+/// non-positive congestion threshold — with a clear `contract_violation`
+/// instead of silently producing degenerate assignments. Every assignment
+/// and sweep entry point calls this; callers constructing options
+/// programmatically can call it early themselves.
+void validate(const capacity_options& options);
+
 /// One undirected link of the loaded network.
 struct link_load {
     int a = 0;                  ///< Node index (satellite or ground).

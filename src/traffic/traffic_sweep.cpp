@@ -17,6 +17,9 @@ traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
 {
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
+    // Fail on degenerate knobs before the parallel fan-out so the error is
+    // a clear contract_violation, not one racing out of a worker.
+    validate(options.capacity);
     const auto failed = lsn::sample_failures(builder.topology(), scenario);
     const int n_steps = static_cast<int>(offsets_s.size());
 

@@ -1,0 +1,233 @@
+#include "tempo/bulk_router.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.h"
+
+namespace ssplane::tempo {
+namespace {
+
+void add_edge(lsn::network_snapshot& snap, int a, int b, double latency_ms)
+{
+    snap.adjacency[static_cast<std::size_t>(a)].push_back({b, latency_ms / 1000.0});
+    snap.adjacency[static_cast<std::size_t>(b)].push_back({a, latency_ms / 1000.0});
+}
+
+lsn::network_snapshot blank_snapshot()
+{
+    lsn::network_snapshot snap;
+    snap.n_satellites = 2;
+    snap.n_ground = 2;
+    snap.positions_ecef_m.resize(4);
+    snap.adjacency.resize(4);
+    return snap;
+}
+
+/// g0 -- s0 -- s1 -- g1 chain.
+lsn::network_snapshot chain_snapshot()
+{
+    auto snap = blank_snapshot();
+    add_edge(snap, 2, 0, 3.0);
+    add_edge(snap, 0, 1, 5.0);
+    add_edge(snap, 1, 3, 3.0);
+    return snap;
+}
+
+constexpr double step_s = 600.0;
+
+std::vector<double> grid(int n_steps)
+{
+    std::vector<double> offsets;
+    for (int i = 0; i < n_steps; ++i) offsets.push_back(i * step_s);
+    return offsets;
+}
+
+bulk_route_options chain_options()
+{
+    bulk_route_options opts;
+    opts.capacity.isl_capacity_gbps = 10.0;
+    opts.capacity.uplink_capacity_gbps = 10.0;
+    opts.sat_buffer_gb = 1.0e6;
+    return opts;
+}
+
+TEST(BulkRouter, DeliversWithinOneStepWhenCapacitySuffices)
+{
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot()};
+    auto graph = build_time_expanded_graph(snaps, grid(2), {}, chain_options());
+
+    // 1000 Gb against 10 Gbps * 600 s = 6000 Gb per link-step: one path.
+    const bulk_transfer_request request{0, 1, 1000.0, 0.0, 2.0 * step_s};
+    const auto result = route_bulk_transfers(graph, {&request, 1});
+
+    ASSERT_EQ(result.requests.size(), 1u);
+    const auto& r = result.requests[0];
+    EXPECT_DOUBLE_EQ(r.delivered_gb, 1000.0);
+    EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.n_paths, 1);
+    EXPECT_DOUBLE_EQ(r.completion_s, step_s); // end of the release step
+    EXPECT_DOUBLE_EQ(result.delivered_fraction, 1.0);
+    // No buffering was needed: everything moved within one step.
+    EXPECT_DOUBLE_EQ(result.max_buffer_gb, 0.0);
+}
+
+TEST(BulkRouter, VolumePulseSpillsToLaterSteps)
+{
+    // 15000 Gb >> 6000 Gb per link-step: the pulse exceeds instantaneous
+    // capacity and must water-fill across the three steps' link capacity.
+    const std::vector<lsn::network_snapshot> snaps{
+        chain_snapshot(), chain_snapshot(), chain_snapshot()};
+    auto graph = build_time_expanded_graph(snaps, grid(3), {}, chain_options());
+
+    const bulk_transfer_request request{0, 1, 15000.0, 0.0, 3.0 * step_s};
+    const auto result = route_bulk_transfers(graph, {&request, 1});
+
+    const auto& r = result.requests[0];
+    EXPECT_DOUBLE_EQ(r.delivered_gb, 15000.0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.n_paths, 3);
+    EXPECT_DOUBLE_EQ(r.completion_s, 3.0 * step_s);
+
+    // A tighter deadline cuts the last step's capacity away.
+    graph.reset_loads();
+    const bulk_transfer_request tight{0, 1, 15000.0, 0.0, 2.0 * step_s};
+    const auto cut = route_bulk_transfers(graph, {&tight, 1});
+    EXPECT_DOUBLE_EQ(cut.requests[0].delivered_gb, 12000.0);
+    EXPECT_FALSE(cut.requests[0].complete);
+    EXPECT_NEAR(cut.requests[0].delivered_fraction, 12000.0 / 15000.0, 1e-12);
+}
+
+/// Step 0: only g0 -- s0 (uplink, no path onward). Step 1: only s0 -- g1.
+/// No single step ever contains a full ground-to-ground path, so delivery
+/// is possible *only* by buffering on s0 across the step boundary.
+std::vector<lsn::network_snapshot> disconnected_relay_snapshots()
+{
+    auto up = blank_snapshot();
+    add_edge(up, 2, 0, 3.0);
+    auto down = blank_snapshot();
+    add_edge(down, 0, 3, 3.0);
+    return {up, down};
+}
+
+TEST(BulkRouter, StoreAndForwardCrossesSnapshotsNoSingleStepPathExists)
+{
+    auto graph = build_time_expanded_graph(disconnected_relay_snapshots(),
+                                           grid(2), {}, chain_options());
+    const bulk_transfer_request request{0, 1, 500.0, 0.0, 2.0 * step_s};
+    const auto result = route_bulk_transfers(graph, {&request, 1});
+
+    const auto& r = result.requests[0];
+    EXPECT_DOUBLE_EQ(r.delivered_gb, 500.0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_DOUBLE_EQ(r.completion_s, 2.0 * step_s);
+    // The whole volume was staged on s0 between the steps.
+    EXPECT_DOUBLE_EQ(result.max_buffer_gb, 500.0);
+    EXPECT_DOUBLE_EQ(result.sat_buffer_high_water_gb[0], 500.0);
+
+    // The per-step replication of the snapshot greedy delivers nothing: no
+    // step has a complete path — the store-and-forward acceptance contrast.
+    const auto baseline = route_bulk_transfers_per_step_baseline(
+        disconnected_relay_snapshots(), grid(2), {&request, 1}, chain_options());
+    EXPECT_DOUBLE_EQ(baseline.requests[0].delivered_gb, 0.0);
+    EXPECT_GT(r.delivered_gb, baseline.requests[0].delivered_gb);
+}
+
+TEST(BulkRouter, BufferCapacityGatesStagedVolume)
+{
+    auto opts = chain_options();
+    opts.sat_buffer_gb = 120.0;
+    auto graph = build_time_expanded_graph(disconnected_relay_snapshots(),
+                                           grid(2), {}, opts);
+    const bulk_transfer_request request{0, 1, 500.0, 0.0, 2.0 * step_s};
+    const auto result = route_bulk_transfers(graph, {&request, 1});
+
+    // Only what fits in the buffer can cross the boundary; the high-water
+    // mark respects the configured limit.
+    EXPECT_DOUBLE_EQ(result.requests[0].delivered_gb, 120.0);
+    EXPECT_FALSE(result.requests[0].complete);
+    EXPECT_LE(result.max_buffer_gb, opts.sat_buffer_gb);
+}
+
+TEST(BulkRouter, ReleaseAndDeadlineClampTheWindow)
+{
+    const std::vector<lsn::network_snapshot> snaps{
+        chain_snapshot(), chain_snapshot(), chain_snapshot()};
+    auto graph = build_time_expanded_graph(snaps, grid(3), {}, chain_options());
+
+    // Released mid-sweep: only steps 1 and 2 carry volume.
+    const bulk_transfer_request late{0, 1, 15000.0, step_s, 3.0 * step_s};
+    const auto result = route_bulk_transfers(graph, {&late, 1});
+    EXPECT_DOUBLE_EQ(result.requests[0].delivered_gb, 12000.0);
+
+    // A deadline before any step can complete delivers nothing.
+    graph.reset_loads();
+    const bulk_transfer_request hopeless{0, 1, 100.0, 0.0, 0.5 * step_s};
+    const auto none = route_bulk_transfers(graph, {&hopeless, 1});
+    EXPECT_DOUBLE_EQ(none.requests[0].delivered_gb, 0.0);
+    EXPECT_DOUBLE_EQ(none.requests[0].completion_s, 0.0);
+    EXPECT_EQ(none.requests[0].n_paths, 0);
+}
+
+TEST(BulkRouter, EarlierRequestsHavePriorityOnSharedBottlenecks)
+{
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot()};
+    auto graph = build_time_expanded_graph(snaps, grid(2), {}, chain_options());
+
+    // Both want the same 2 * 6000 Gb chain; 9000 + 9000 > 12000 total.
+    const bulk_transfer_request requests[] = {
+        {0, 1, 9000.0, 0.0, 2.0 * step_s},
+        {1, 0, 9000.0, 0.0, 2.0 * step_s},
+    };
+    const auto result = route_bulk_transfers(graph, {requests, 2});
+    EXPECT_DOUBLE_EQ(result.requests[0].delivered_gb, 9000.0);
+    EXPECT_DOUBLE_EQ(result.requests[1].delivered_gb, 3000.0);
+    EXPECT_DOUBLE_EQ(result.delivered_gb, 12000.0);
+    EXPECT_NEAR(result.delivered_fraction, 12000.0 / 18000.0, 1e-12);
+}
+
+TEST(BulkRouter, PerStepBaselineMatchesOnAlwaysConnectedChains)
+{
+    // With a full path in every step and no need to buffer, both contenders
+    // see the same per-step capacity.
+    const std::vector<lsn::network_snapshot> snaps{
+        chain_snapshot(), chain_snapshot(), chain_snapshot()};
+    const auto offsets = grid(3);
+    const bulk_transfer_request request{0, 1, 15000.0, 0.0, 3.0 * step_s};
+
+    auto graph = build_time_expanded_graph(snaps, offsets, {}, chain_options());
+    const auto expanded = route_bulk_transfers(graph, {&request, 1});
+    const auto baseline = route_bulk_transfers_per_step_baseline(
+        snaps, offsets, {&request, 1}, chain_options());
+
+    EXPECT_DOUBLE_EQ(expanded.requests[0].delivered_gb, 15000.0);
+    EXPECT_DOUBLE_EQ(baseline.requests[0].delivered_gb, 15000.0);
+    EXPECT_DOUBLE_EQ(baseline.requests[0].completion_s,
+                     expanded.requests[0].completion_s);
+    // The baseline never buffers on satellites.
+    EXPECT_DOUBLE_EQ(baseline.max_buffer_gb, 0.0);
+}
+
+TEST(BulkRouter, RejectsMalformedRequests)
+{
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot()};
+    auto graph = build_time_expanded_graph(snaps, grid(2), {}, chain_options());
+
+    bulk_transfer_request bad{0, 0, 100.0, 0.0, step_s}; // src == dst
+    EXPECT_THROW(route_bulk_transfers(graph, {&bad, 1}), contract_violation);
+    bad = {0, 5, 100.0, 0.0, step_s}; // dst out of range
+    EXPECT_THROW(route_bulk_transfers(graph, {&bad, 1}), contract_violation);
+    bad = {0, 1, -5.0, 0.0, step_s}; // non-positive volume
+    EXPECT_THROW(route_bulk_transfers(graph, {&bad, 1}), contract_violation);
+    bad = {0, 1, 100.0, step_s, step_s}; // deadline not after release
+    EXPECT_THROW(route_bulk_transfers(graph, {&bad, 1}), contract_violation);
+    EXPECT_THROW(route_bulk_transfers_per_step_baseline(snaps, grid(2), {&bad, 1},
+                                                        chain_options()),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::tempo

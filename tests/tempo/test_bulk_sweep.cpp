@@ -1,0 +1,191 @@
+#include "tempo/bulk_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/traffic_matrix.h"
+#include "util/angles.h"
+#include "util/parallel.h"
+
+namespace ssplane::tempo {
+namespace {
+
+/// 10x10 grid: at a 25° mask the 4 test gateways see satellites only
+/// intermittently, so delay-tolerant delivery genuinely needs buffering.
+lsn::lsn_topology test_walker()
+{
+    constellation::walker_parameters params;
+    params.altitude_m = 550.0e3;
+    params.inclination_rad = deg2rad(53.0);
+    params.n_planes = 10;
+    params.sats_per_plane = 10;
+    params.phasing_f = 1;
+    return lsn::build_walker_grid_topology(params);
+}
+
+lsn::scenario_sweep_options short_sweep()
+{
+    lsn::scenario_sweep_options sweep;
+    sweep.duration_s = 7200.0;
+    sweep.step_s = 1800.0;
+    sweep.min_elevation_rad = deg2rad(25.0);
+    return sweep;
+}
+
+TEST(BulkSweep, DeliversBulkVolumeOnHealthyConstellation)
+{
+    const auto topo = test_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const std::vector<bulk_transfer_request> requests{
+        {0, 2, 5000.0, 0.0, 7200.0},
+        {1, 3, 3000.0, 1800.0, 7200.0},
+    };
+    const auto result = run_bulk_sweep(topo, stations, astro::instant::j2000(), {},
+                                       requests, short_sweep());
+
+    EXPECT_EQ(result.n_steps, 4);
+    EXPECT_EQ(result.n_failed, 0);
+    ASSERT_EQ(result.routing.requests.size(), 2u);
+    EXPECT_DOUBLE_EQ(result.routing.offered_gb, 8000.0);
+    EXPECT_GT(result.routing.delivered_gb, 0.0);
+    EXPECT_LE(result.routing.delivered_fraction, 1.0 + 1e-12);
+    for (const auto& r : result.routing.requests) {
+        EXPECT_GE(r.delivered_gb, 0.0);
+        EXPECT_LE(r.delivered_gb, r.volume_gb + 1e-9);
+        if (r.delivered_gb > 0.0) {
+            EXPECT_GT(r.completion_s, 0.0);
+            EXPECT_LE(r.completion_s, 7200.0 + 1e-6);
+        }
+    }
+}
+
+TEST(BulkSweep, StoreAndForwardBeatsPerStepGreedyUnderFailureWithPulse)
+{
+    // The acceptance scenario: a demand pulse far past instantaneous
+    // capacity, on a constellation degraded enough that full src->dst paths
+    // are scarce within single steps while uplink-only contact persists.
+    const auto topo = test_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const auto epoch = astro::instant::j2000();
+    auto sweep = short_sweep();
+    sweep.duration_s = 14400.0;
+
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.5;
+    loss.seed = 11;
+
+    const lsn::snapshot_builder builder(topo, stations, epoch,
+                                        sweep.min_elevation_rad,
+                                        sweep.max_isl_range_m);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+
+    bulk_route_options opts;
+    opts.sat_buffer_gb = 1.0e5;
+    std::vector<bulk_transfer_request> requests;
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+            if (a != b) requests.push_back({a, b, 2.0e5, 0.0, 14400.0});
+
+    const auto expanded =
+        run_bulk_sweep(builder, offsets, positions, loss, requests, opts);
+    const auto replicated = run_bulk_sweep_per_step_baseline(
+        builder, offsets, positions, loss, requests, opts);
+
+    EXPECT_EQ(expanded.n_failed, replicated.n_failed);
+    EXPECT_GT(expanded.n_failed, 0);
+    // Store-and-forward strictly beats replaying the snapshot greedy.
+    EXPECT_GT(expanded.routing.delivered_gb, replicated.routing.delivered_gb);
+    // Every staged gigabit respected the configured onboard buffer.
+    EXPECT_GT(expanded.routing.max_buffer_gb, 0.0);
+    EXPECT_LE(expanded.routing.max_buffer_gb, opts.sat_buffer_gb + 1e-9);
+    for (const double hw : expanded.routing.sat_buffer_high_water_gb)
+        EXPECT_LE(hw, opts.sat_buffer_gb + 1e-9);
+    // No request delivers more one way than the other claims to have offered.
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        EXPECT_LE(replicated.routing.requests[i].delivered_gb,
+                  requests[i].volume_gb + 1e-9);
+}
+
+TEST(BulkSweep, FailuresOnlyReduceDeliveredVolume)
+{
+    const auto topo = test_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const auto epoch = astro::instant::j2000();
+    const auto sweep = short_sweep();
+
+    const lsn::snapshot_builder builder(topo, stations, epoch,
+                                        sweep.min_elevation_rad,
+                                        sweep.max_isl_range_m);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+    const std::vector<bulk_transfer_request> requests{
+        {0, 2, 5.0e4, 0.0, 7200.0},
+        {3, 1, 5.0e4, 0.0, 7200.0},
+    };
+
+    const auto baseline =
+        run_bulk_sweep(builder, offsets, positions, {}, requests, {});
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.6;
+    loss.seed = 7;
+    const auto degraded =
+        run_bulk_sweep(builder, offsets, positions, loss, requests, {});
+
+    const double ratio = delivered_volume_ratio(baseline, degraded);
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0 + 1e-12);
+
+    // Ratio edge case: a baseline that delivered nothing yields 0.
+    bulk_sweep_result empty;
+    EXPECT_EQ(delivered_volume_ratio(empty, degraded), 0.0);
+}
+
+TEST(BulkSweep, BitIdenticalAcrossThreadCounts)
+{
+    const auto topo = test_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.25;
+    loss.seed = 3;
+    const std::vector<bulk_transfer_request> requests{
+        {0, 2, 8.0e4, 0.0, 7200.0},
+        {2, 1, 4.0e4, 1800.0, 5400.0},
+        {3, 0, 6.0e4, 0.0, 7200.0},
+    };
+
+    const auto run_with = [&](unsigned threads) {
+        set_thread_count(threads);
+        const auto result = run_bulk_sweep(topo, stations, astro::instant::j2000(),
+                                           loss, requests, short_sweep());
+        set_thread_count(0);
+        return result;
+    };
+    const auto one = run_with(1);
+    const auto two = run_with(2);
+    const auto four = run_with(4);
+
+    for (const auto* other : {&two, &four}) {
+        EXPECT_EQ(one.n_failed, other->n_failed);
+        EXPECT_EQ(one.routing.offered_gb, other->routing.offered_gb);
+        EXPECT_EQ(one.routing.delivered_gb, other->routing.delivered_gb);
+        EXPECT_EQ(one.routing.delivered_fraction, other->routing.delivered_fraction);
+        EXPECT_EQ(one.routing.max_buffer_gb, other->routing.max_buffer_gb);
+        EXPECT_EQ(one.routing.sat_buffer_high_water_gb,
+                  other->routing.sat_buffer_high_water_gb);
+        ASSERT_EQ(one.routing.requests.size(), other->routing.requests.size());
+        for (std::size_t i = 0; i < one.routing.requests.size(); ++i) {
+            EXPECT_EQ(one.routing.requests[i].delivered_gb,
+                      other->routing.requests[i].delivered_gb);
+            EXPECT_EQ(one.routing.requests[i].completion_s,
+                      other->routing.requests[i].completion_s);
+            EXPECT_EQ(one.routing.requests[i].n_paths,
+                      other->routing.requests[i].n_paths);
+        }
+    }
+}
+
+} // namespace
+} // namespace ssplane::tempo

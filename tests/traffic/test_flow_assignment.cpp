@@ -151,5 +151,42 @@ TEST(FlowAssignment, RejectsMismatchedMatrix)
                  contract_violation);
 }
 
+TEST(FlowAssignment, ValidateRejectsDegenerateCapacityOptions)
+{
+    EXPECT_NO_THROW(validate(capacity_options{}));
+
+    capacity_options opts;
+    opts.isl_capacity_gbps = 0.0;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.isl_capacity_gbps = -5.0;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.uplink_capacity_gbps = 0.0;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.k_rounds = 0;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.k_rounds = -3;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.congestion_penalty = -1.0;
+    EXPECT_THROW(validate(opts), contract_violation);
+    opts = {};
+    opts.congested_threshold = 0.0;
+    EXPECT_THROW(validate(opts), contract_violation);
+
+    // Degenerate knobs are rejected at the assignment entry too, not just
+    // by explicit validate() calls.
+    opts = {};
+    opts.uplink_capacity_gbps = -1.0;
+    EXPECT_THROW(assign_flows(chain_snapshot(), single_pair_matrix(1.0), opts),
+                 contract_violation);
+    EXPECT_THROW(assign_flows_per_pair_baseline(chain_snapshot(),
+                                                single_pair_matrix(1.0), opts),
+                 contract_violation);
+}
+
 } // namespace
 } // namespace ssplane::traffic

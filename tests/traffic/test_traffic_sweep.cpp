@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/angles.h"
+#include "util/expects.h"
 #include "util/parallel.h"
 
 namespace ssplane::traffic {
@@ -84,6 +85,45 @@ TEST(TrafficSweep, MassiveLossReducesDeliveredThroughput)
     // Offered load is a property of the demand model, not the network.
     EXPECT_DOUBLE_EQ(degraded.metrics.offered_gbps_mean,
                      baseline.metrics.offered_gbps_mean);
+}
+
+TEST(TrafficSweep, DeliveredThroughputRatioEdgeCases)
+{
+    // Empty sweeps (no steps) deliver nothing: the ratio degrades to 0
+    // rather than dividing by zero, in either position.
+    traffic_sweep_result empty;
+    EXPECT_EQ(delivered_throughput_ratio(empty, empty), 0.0);
+
+    traffic_sweep_result some;
+    some.metrics.delivered_gbps_mean = 120.0;
+    EXPECT_EQ(delivered_throughput_ratio(empty, some), 0.0);
+
+    // A scenario that delivered nothing against a live baseline is a clean 0.
+    EXPECT_DOUBLE_EQ(delivered_throughput_ratio(some, empty), 0.0);
+
+    // A zero-*baseline* (delivered nothing despite steps) still reports 0 —
+    // ratios against dead baselines are meaningless, not infinite.
+    traffic_sweep_result dead;
+    dead.n_steps = 4;
+    dead.metrics.delivered_gbps_mean = 0.0;
+    EXPECT_EQ(delivered_throughput_ratio(dead, some), 0.0);
+
+    // The healthy case stays a plain quotient.
+    traffic_sweep_result half = some;
+    half.metrics.delivered_gbps_mean = 60.0;
+    EXPECT_DOUBLE_EQ(delivered_throughput_ratio(some, half), 0.5);
+}
+
+TEST(TrafficSweep, RejectsDegenerateCapacityOptionsBeforeSweeping)
+{
+    const demand::demand_model model(test_population());
+    const auto topo = small_walker();
+    const auto stations = stations_from_cities(4);
+    traffic_sweep_options options;
+    options.capacity.k_rounds = 0;
+    EXPECT_THROW(run_traffic_sweep(topo, stations, astro::instant::j2000(), {},
+                                   model, short_sweep(), options),
+                 contract_violation);
 }
 
 TEST(TrafficSweep, BitIdenticalAcrossThreadCounts)
