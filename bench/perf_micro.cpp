@@ -14,6 +14,7 @@
 #include "astro/propagator.h"
 #include "bench_util.h"
 #include "core/design_problem.h"
+#include "exp/campaign.h"
 #include "core/greedy_cover.h"
 #include "core/plane_trace.h"
 #include "demand/demand_model.h"
@@ -303,6 +304,117 @@ void bm_bulk_route_baseline(benchmark::State& state)
     }
 }
 BENCHMARK(bm_bulk_route_baseline)->Unit(benchmark::kMillisecond);
+
+/// Shared fixture of the campaign benches: a 24x24 Walker grid, 6 gateways,
+/// a half-hourly day grid, four failure scenarios and the three metric
+/// engines. Both contenders compute identical metrics; the contrast is one
+/// shared evaluation context vs the three legacy one-shot entry points run
+/// back-to-back per scenario (each re-paying propagator construction, the
+/// batched propagation pass and the failure draw).
+/// Static-storage demand model: the traffic engine keeps a reference, so
+/// its lifetime must outlive the fixture struct the plan lives in.
+const demand::demand_model& bench_demand()
+{
+    static const demand::demand_model model(bench_population());
+    return model;
+}
+
+struct campaign_bench_inputs {
+    lsn::lsn_topology topo;
+    std::vector<lsn::ground_station> stations;
+    lsn::scenario_sweep_options grid;
+    traffic::traffic_sweep_options traffic_opts;
+    std::vector<tempo::bulk_transfer_request> requests;
+    tempo::bulk_route_options bulk_opts;
+    exp::experiment_plan plan;
+};
+
+const campaign_bench_inputs& bench_campaign_inputs()
+{
+    static const campaign_bench_inputs inputs = [] {
+        campaign_bench_inputs in;
+        constellation::walker_parameters p;
+        p.altitude_m = 550.0e3;
+        p.inclination_rad = deg2rad(53.0);
+        p.n_planes = 24;
+        p.sats_per_plane = 24;
+        p.phasing_f = 1;
+        in.topo = lsn::build_walker_grid_topology(p);
+        in.stations = traffic::stations_from_cities(6);
+        in.grid.step_s = 1800.0;
+        in.grid.min_elevation_rad = deg2rad(30.0);
+        in.traffic_opts.matrix.total_demand_gbps = 2000.0;
+        in.bulk_opts.sat_buffer_gb = 256.0;
+        for (int g = 0; g < 6; ++g)
+            in.requests.push_back({g, (g + 3) % 6, 5.0e4, 0.0, 86400.0});
+
+        in.plan.scenarios.push_back({"baseline", {}});
+        lsn::failure_scenario loss;
+        loss.mode = lsn::failure_mode::random_loss;
+        loss.loss_fraction = 0.2;
+        loss.seed = 1;
+        in.plan.scenarios.push_back({"random_20", loss});
+        lsn::failure_scenario attack;
+        attack.mode = lsn::failure_mode::plane_attack;
+        attack.planes_attacked = 3;
+        attack.seed = 1;
+        in.plan.scenarios.push_back({"attack_3", attack});
+        lsn::failure_scenario radiation;
+        radiation.mode = lsn::failure_mode::radiation_poisson;
+        radiation.plane_daily_fluence.assign(24, 2.0e10);
+        radiation.horizon_days = 5.0 * 365.25;
+        radiation.seed = 1;
+        in.plan.scenarios.push_back({"radiation_5y", radiation});
+
+        in.plan.engines = {
+            std::make_shared<exp::survivability_engine>(),
+            std::make_shared<exp::traffic_engine>(bench_demand(), in.traffic_opts),
+            std::make_shared<exp::bulk_engine>(in.requests, in.bulk_opts)};
+        return in;
+    }();
+    return inputs;
+}
+
+void bm_campaign(benchmark::State& state)
+{
+    // 4 scenarios x 3 engines through one run_campaign: the context pays
+    // propagator construction, the batched propagation pass and the four
+    // failure draws once, and the 12 cells fan out over the pool.
+    const auto& in = bench_campaign_inputs();
+    for (auto _ : state) {
+        const exp::evaluation_context context(in.topo, in.stations,
+                                              astro::instant::j2000(), in.grid);
+        benchmark::DoNotOptimize(exp::run_campaign(in.plan, context).cells.size());
+    }
+}
+BENCHMARK(bm_campaign)->Unit(benchmark::kMillisecond);
+
+void bm_campaign_separate_baseline(benchmark::State& state)
+{
+    // The pre-campaign route to the same 12 cells: the three one-shot
+    // engine entry points run back-to-back per scenario, each rebuilding
+    // its own builder, propagation pass and failure mask.
+    const auto& in = bench_campaign_inputs();
+    for (auto _ : state) {
+        double sink = 0.0;
+        for (const auto& spec : in.plan.scenarios) {
+            sink += lsn::run_scenario_sweep(in.topo, in.stations,
+                                            astro::instant::j2000(), spec.scenario,
+                                            in.grid)
+                        .metrics.pair_reachable_fraction;
+            sink += traffic::run_traffic_sweep(in.topo, in.stations,
+                                               astro::instant::j2000(), spec.scenario,
+                                               bench_demand(), in.grid, in.traffic_opts)
+                        .metrics.delivered_gbps_mean;
+            sink += tempo::run_bulk_sweep(in.topo, in.stations, astro::instant::j2000(),
+                                          spec.scenario, in.requests, in.grid,
+                                          in.bulk_opts)
+                        .routing.delivered_gb;
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(bm_campaign_separate_baseline)->Unit(benchmark::kMillisecond);
 
 void bm_dijkstra(benchmark::State& state)
 {

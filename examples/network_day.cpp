@@ -4,6 +4,12 @@
 // attack, and radiation-driven Poisson failures fed by each plane's daily
 // fluence (paper §2.1 survivability, §5 time-aware evaluation).
 //
+// The failure study runs as ONE experiment campaign (`exp::run_campaign`):
+// an `evaluation_context` pays the propagation pass and failure draws once,
+// and the survivability / delivered-traffic / bulk-delivery engines judge
+// every scenario against it. The campaign table is printed per engine and
+// emitted as a CSV block at the end.
+//
 // Usage: network_day [--bandwidth=10] [--sweep-step=1800] [--seed=1]
 //                    [--offered-gbps=2000] [--bulk-gb=500000]
 //                    [--buffer-gb=25000] [--bulk-deadline-h=6]
@@ -15,11 +21,10 @@
 
 #include "constellation/sun_sync.h"
 #include "core/greedy_cover.h"
+#include "exp/campaign.h"
 #include "lsn/scenario.h"
 #include "lsn/simulator.h"
 #include "radiation/fluence.h"
-#include "tempo/bulk_sweep.h"
-#include "traffic/traffic_sweep.h"
 #include "util/angles.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -102,27 +107,24 @@ int main(int argc, char** argv)
                 .electrons_cm2_mev);
     }
 
-    struct named_scenario {
-        std::string name;
-        lsn::failure_scenario scenario;
-    };
-    std::vector<named_scenario> scenarios;
-    scenarios.push_back({"baseline", {}});
+    exp::experiment_plan plan;
+    plan.scenarios.push_back({"baseline", {}});
     {
         lsn::failure_scenario s;
         s.mode = lsn::failure_mode::random_loss;
         s.loss_fraction = 0.1;
         s.seed = seed;
-        scenarios.push_back({"random 10%", s});
+        plan.scenarios.push_back({"random 10%", s});
         s.loss_fraction = 0.3;
-        scenarios.push_back({"random 30%", s});
+        plan.scenarios.push_back({"random 30%", s});
     }
     {
         lsn::failure_scenario s;
         s.mode = lsn::failure_mode::plane_attack;
         s.planes_attacked = std::min<int>(2, static_cast<int>(planes.size()));
         s.seed = seed;
-        scenarios.push_back({"plane attack x" + std::to_string(s.planes_attacked), s});
+        plan.scenarios.push_back(
+            {"plane attack x" + std::to_string(s.planes_attacked), s});
     }
     {
         lsn::failure_scenario s;
@@ -130,62 +132,17 @@ int main(int argc, char** argv)
         s.plane_daily_fluence = plane_fluence;
         s.horizon_days = 5.0 * 365.25; // mission-length exposure
         s.seed = seed;
-        scenarios.push_back({"radiation 5y", s});
+        plan.scenarios.push_back({"radiation 5y", s});
     }
 
-    std::cout << "\nfailure-scenario sweep (" << sweep.duration_s / 3600.0 << " h, step "
-              << sweep.step_s << " s):\n";
-    table_printer st({"scenario", "failed", "giant_frac", "reach_frac", "mean_ms",
-                      "p95_ms", "p95_inflation"});
-    // One builder + one batched propagation pass serve all scenarios.
-    const lsn::snapshot_builder builder(topology, stations, epoch,
-                                        sweep.min_elevation_rad, sweep.max_isl_range_m);
-    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
-    const auto positions = builder.positions_at_offsets(offsets);
-    lsn::scenario_sweep_result baseline;
-    for (const auto& [name, scenario] : scenarios) {
-        const auto result = lsn::run_scenario_sweep(builder, offsets, positions, scenario);
-        if (name == "baseline") baseline = result;
-        st.row({name, std::to_string(result.metrics.n_failed),
-                format_number(result.metrics.giant_component_fraction, 4),
-                format_number(result.metrics.pair_reachable_fraction, 4),
-                format_number(result.metrics.mean_latency_ms, 5),
-                format_number(result.metrics.p95_latency_ms, 5),
-                format_number(lsn::p95_latency_inflation(baseline, result), 4)});
-    }
-    st.print(std::cout);
-
-    // --- Delivered throughput under failure: the same scenarios judged by
-    // the capacity they deliver against the diurnal gravity demand matrix
-    // (one builder + propagation pass shared with the sweep above).
+    // --- The three workloads as campaign engines. Survivability, delivered
+    // throughput against the diurnal gravity matrix, and delay-tolerant bulk
+    // delivery (time-expanded store-and-forward vs the per-epoch replication
+    // floor) all judge the same scenarios on one shared context.
     traffic::traffic_sweep_options traffic_opts;
     traffic_opts.matrix.total_demand_gbps =
         args.get_double("offered-gbps", 2000.0);
 
-    std::cout << "\ndelivered throughput under failure ("
-              << traffic_opts.matrix.total_demand_gbps << " Gbps offered, ISL "
-              << traffic_opts.capacity.isl_capacity_gbps << " Gbps, uplink "
-              << traffic_opts.capacity.uplink_capacity_gbps << " Gbps):\n";
-    table_printer tt({"scenario", "offered_gbps", "delivered_frac", "p95_util",
-                      "congested_frac", "vs_baseline"});
-    traffic::traffic_sweep_result traffic_baseline;
-    for (const auto& [name, scenario] : scenarios) {
-        const auto result = traffic::run_traffic_sweep(builder, offsets, positions,
-                                                       scenario, demand, traffic_opts);
-        if (name == "baseline") traffic_baseline = result;
-        tt.row({name, format_number(result.metrics.offered_gbps_mean, 5),
-                format_number(result.metrics.delivered_fraction, 4),
-                format_number(result.metrics.p95_link_utilization, 4),
-                format_number(result.metrics.congested_link_fraction, 4),
-                format_number(
-                    traffic::delivered_throughput_ratio(traffic_baseline, result), 4)});
-    }
-    tt.print(std::cout);
-
-    // --- Bulk delivery under failure: the same scenarios judged by the
-    // delay-tolerant workload — bulk volume pulses between antipodal-ish
-    // gateway pairs, routed over the time-expanded graph (store-and-forward
-    // across snapshots) vs the per-epoch replication of the greedy above.
     tempo::bulk_route_options bulk_opts;
     bulk_opts.sat_buffer_gb = args.get_double("buffer-gb", 25000.0);
     const double bulk_gb = args.get_double("bulk-gb", 500000.0);
@@ -197,19 +154,72 @@ int main(int argc, char** argv)
         bulk_requests.push_back(
             {g, (g + n_gw / 2) % n_gw, bulk_gb, 0.0, bulk_deadline_s});
 
+    plan.engines = {
+        std::make_shared<exp::survivability_engine>(),
+        std::make_shared<exp::traffic_engine>(demand, traffic_opts),
+        std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts),
+        std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts,
+                                           /*per_step_baseline=*/true)};
+
+    // One context = one propagation pass + one failure draw per scenario,
+    // shared by all (scenario, engine) cells.
+    const exp::evaluation_context context(topology, stations, epoch, sweep);
+    const auto campaign = exp::run_campaign(plan, context);
+    const int n_rows = static_cast<int>(campaign.rows.size());
+    // Address engines by name, not by position in plan.engines — the two
+    // bulk variants share a detail type, so a positional mix-up would not
+    // be caught by the detail() type check.
+    const int surv_e = campaign.engine_index("survivability");
+    const int traffic_e = campaign.engine_index("traffic");
+    const int bulk_e = campaign.engine_index("bulk");
+    const int bulk_floor_e = campaign.engine_index("bulk_per_step");
+
+    std::cout << "\nfailure-scenario sweep (" << sweep.duration_s / 3600.0 << " h, step "
+              << sweep.step_s << " s):\n";
+    table_printer st({"scenario", "failed", "giant_frac", "reach_frac", "mean_ms",
+                      "p95_ms", "p95_inflation"});
+    const auto& surv_baseline = exp::survivability_engine::detail(campaign.cell(0, surv_e));
+    for (int r = 0; r < n_rows; ++r) {
+        const auto& result = exp::survivability_engine::detail(campaign.cell(r, surv_e));
+        st.row({campaign.rows[static_cast<std::size_t>(r)].name,
+                std::to_string(campaign.rows[static_cast<std::size_t>(r)].n_failed),
+                format_number(result.metrics.giant_component_fraction, 4),
+                format_number(result.metrics.pair_reachable_fraction, 4),
+                format_number(result.metrics.mean_latency_ms, 5),
+                format_number(result.metrics.p95_latency_ms, 5),
+                format_number(lsn::p95_latency_inflation(surv_baseline, result), 4)});
+    }
+    st.print(std::cout);
+
+    std::cout << "\ndelivered throughput under failure ("
+              << traffic_opts.matrix.total_demand_gbps << " Gbps offered, ISL "
+              << traffic_opts.capacity.isl_capacity_gbps << " Gbps, uplink "
+              << traffic_opts.capacity.uplink_capacity_gbps << " Gbps):\n";
+    table_printer tt({"scenario", "offered_gbps", "delivered_frac", "p95_util",
+                      "congested_frac", "vs_baseline"});
+    const auto& traffic_baseline = exp::traffic_engine::detail(campaign.cell(0, traffic_e));
+    for (int r = 0; r < n_rows; ++r) {
+        const auto& result = exp::traffic_engine::detail(campaign.cell(r, traffic_e));
+        tt.row({campaign.rows[static_cast<std::size_t>(r)].name,
+                format_number(result.metrics.offered_gbps_mean, 5),
+                format_number(result.metrics.delivered_fraction, 4),
+                format_number(result.metrics.p95_link_utilization, 4),
+                format_number(result.metrics.congested_link_fraction, 4),
+                format_number(
+                    traffic::delivered_throughput_ratio(traffic_baseline, result), 4)});
+    }
+    tt.print(std::cout);
+
     std::cout << "\nbulk delivery under failure (" << bulk_gb
               << " Gb per request, " << bulk_requests.size()
               << " requests, buffer " << bulk_opts.sat_buffer_gb
               << " Gb/sat, deadline " << bulk_deadline_s / 3600.0 << " h):\n";
     table_printer bt({"scenario", "delivered_frac", "per_step_frac", "sf_gain",
                       "max_buffer_gb", "vs_baseline"});
-    tempo::bulk_sweep_result bulk_baseline;
-    for (const auto& [name, scenario] : scenarios) {
-        const auto expanded = tempo::run_bulk_sweep(builder, offsets, positions,
-                                                    scenario, bulk_requests, bulk_opts);
-        const auto replicated = tempo::run_bulk_sweep_per_step_baseline(
-            builder, offsets, positions, scenario, bulk_requests, bulk_opts);
-        if (name == "baseline") bulk_baseline = expanded;
+    const auto& bulk_baseline = exp::bulk_engine::detail(campaign.cell(0, bulk_e));
+    for (int r = 0; r < n_rows; ++r) {
+        const auto& expanded = exp::bulk_engine::detail(campaign.cell(r, bulk_e));
+        const auto& replicated = exp::bulk_engine::detail(campaign.cell(r, bulk_floor_e));
         // Store-and-forward gain; "inf" when buffering delivers volume the
         // per-step greedy cannot move at all.
         const double gain =
@@ -218,7 +228,8 @@ int main(int argc, char** argv)
                 : (expanded.routing.delivered_gb > 0.0
                        ? std::numeric_limits<double>::infinity()
                        : 1.0);
-        bt.row({name, format_number(expanded.routing.delivered_fraction, 4),
+        bt.row({campaign.rows[static_cast<std::size_t>(r)].name,
+                format_number(expanded.routing.delivered_fraction, 4),
                 format_number(replicated.routing.delivered_fraction, 4),
                 format_number(gain, 4),
                 format_number(expanded.routing.max_buffer_gb, 5),
@@ -226,5 +237,10 @@ int main(int argc, char** argv)
                     tempo::delivered_volume_ratio(bulk_baseline, expanded), 4)});
     }
     bt.print(std::cout);
+
+    // The whole campaign as one machine-readable table: scenario axes ->
+    // every engine's named metric columns.
+    std::cout << "\ncampaign CSV (scenario axes -> metric columns):\n";
+    campaign.write_csv(std::cout);
     return 0;
 }

@@ -1,0 +1,201 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/expects.h"
+#include "util/parallel.h"
+
+namespace ssplane::exp {
+
+namespace {
+
+const char* mode_name(lsn::failure_mode mode)
+{
+    switch (mode) {
+    case lsn::failure_mode::none: return "none";
+    case lsn::failure_mode::random_loss: return "random_loss";
+    case lsn::failure_mode::plane_attack: return "plane_attack";
+    case lsn::failure_mode::radiation_poisson: return "radiation_poisson";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::vector<scenario_spec> expand_scenarios(const experiment_plan& plan)
+{
+    std::vector<scenario_spec> expanded;
+    expanded.reserve(plan.scenarios.size() *
+                     std::max<std::size_t>(plan.seeds.size(), 1));
+    for (const auto& spec : plan.scenarios) {
+        if (plan.seeds.empty()) {
+            expanded.push_back(spec);
+            continue;
+        }
+        for (const std::uint64_t seed : plan.seeds) {
+            scenario_spec cell = spec;
+            cell.scenario.seed = seed;
+            cell.name += "#" + std::to_string(seed);
+            expanded.push_back(std::move(cell));
+        }
+    }
+    return expanded;
+}
+
+int campaign_result::engine_index(std::string_view name) const
+{
+    for (std::size_t e = 0; e < engine_names.size(); ++e)
+        if (engine_names[e] == name) return static_cast<int>(e);
+    expects(false, "unknown campaign engine name");
+    return -1;
+}
+
+double campaign_result::value(int row, std::string_view column) const
+{
+    std::size_t flat = 0;
+    for (int e = 0; e < n_engines; ++e) {
+        const auto& values = cell(row, e).values;
+        for (std::size_t c = 0; c < values.size(); ++c, ++flat) {
+            if (columns[flat] == column) return values[c];
+        }
+    }
+    expects(false, "unknown campaign column");
+    return 0.0;
+}
+
+void campaign_result::write_csv(std::ostream& out) const
+{
+    std::vector<std::string> header{"scenario",        "mode", "loss_fraction",
+                                    "planes_attacked", "horizon_days", "seed",
+                                    "n_failed"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    csv_writer csv(out, std::move(header));
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto& row = rows[r];
+        std::vector<std::string> cells_text{
+            row.name,
+            mode_name(row.scenario.mode),
+            format_number(row.scenario.loss_fraction),
+            format_number(row.scenario.planes_attacked),
+            format_number(row.scenario.horizon_days),
+            std::to_string(row.scenario.seed),
+            std::to_string(row.n_failed)};
+        for (int e = 0; e < n_engines; ++e)
+            for (const double v : cell(static_cast<int>(r), e).values)
+                cells_text.push_back(format_number(v));
+        csv.row_text(cells_text);
+    }
+}
+
+campaign_result run_campaign(const experiment_plan& plan,
+                             const evaluation_context& context)
+{
+    expects(!plan.scenarios.empty(), "campaign needs at least one scenario");
+    expects(!plan.engines.empty(), "campaign needs at least one metric engine");
+    for (const auto& engine : plan.engines) {
+        expects(engine != nullptr, "campaign engine must not be null");
+        engine->validate_options();
+    }
+
+    campaign_result result;
+    result.n_engines = static_cast<int>(plan.engines.size());
+    for (const auto& engine : plan.engines) {
+        result.engine_names.push_back(engine->name());
+        for (const auto& column : engine->columns())
+            result.columns.push_back(engine->name() + "." + column);
+    }
+    // Colliding flattened names (two engines sharing a name) would make
+    // `value()` silently return the first engine's number and the CSV emit
+    // duplicate headers — fail loudly instead.
+    auto sorted_columns = result.columns;
+    std::sort(sorted_columns.begin(), sorted_columns.end());
+    expects(std::adjacent_find(sorted_columns.begin(), sorted_columns.end()) ==
+                sorted_columns.end(),
+            "campaign engines produce duplicate column names; give each engine "
+            "a distinct name");
+
+    // Resolve the scenario grid and validate every cell's knobs serially,
+    // before any parallel work or mask draw.
+    const auto expanded = expand_scenarios(plan);
+    for (const auto& spec : expanded)
+        lsn::validate(spec.scenario, context.topology());
+
+    // Mirror the column-collision guard for rows: duplicate expanded names
+    // would make CSV consumers keying on the scenario column merge or pick
+    // the wrong row.
+    std::vector<std::string> sorted_names;
+    sorted_names.reserve(expanded.size());
+    for (const auto& spec : expanded) sorted_names.push_back(spec.name);
+    std::sort(sorted_names.begin(), sorted_names.end());
+    expects(std::adjacent_find(sorted_names.begin(), sorted_names.end()) ==
+                sorted_names.end(),
+            "campaign scenarios expand to duplicate names; give each template "
+            "a distinct name");
+
+    // Prefetch every failure mask serially: scenarios sharing (mode, knobs,
+    // seed) dedupe onto one draw in the context cache, and the parallel
+    // section below only reads.
+    std::vector<const std::vector<std::uint8_t>*> masks;
+    masks.reserve(expanded.size());
+    result.rows.reserve(expanded.size());
+    for (const auto& spec : expanded) {
+        const auto& mask = context.failure_mask(spec.scenario);
+        masks.push_back(&mask);
+        result.rows.push_back(
+            {spec.name, spec.scenario,
+             static_cast<int>(std::count(mask.begin(), mask.end(), 1))});
+    }
+
+    // Cells sharing (mask, engine) are bit-identical by each engine's
+    // determinism contract, so only one representative per distinct pair is
+    // evaluated; duplicates copy its output (sharing the detail payload).
+    // The dedup assignment is serial, so it never depends on thread count.
+    const std::size_t n_cells =
+        expanded.size() * static_cast<std::size_t>(result.n_engines);
+    std::vector<std::size_t> computed_as(n_cells);
+    std::vector<std::size_t> unique_cells;
+    std::map<std::pair<const void*, std::size_t>, std::size_t> representative;
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        const std::size_t row = i / static_cast<std::size_t>(result.n_engines);
+        const std::size_t e = i % static_cast<std::size_t>(result.n_engines);
+        const auto [it, inserted] = representative.try_emplace({masks[row], e}, i);
+        computed_as[i] = it->second;
+        if (inserted) unique_cells.push_back(i);
+    }
+
+    // Per-cell result slots, one chunk per cell: every worker writes only
+    // its own slots, so any SSPLANE_THREADS value reproduces the campaign
+    // bit-for-bit (engines nested inside a worker degrade to their serial
+    // path, which is bit-identical by each engine's own contract).
+    result.cells.resize(n_cells);
+    parallel_for(
+        unique_cells.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t u = begin; u < end; ++u) {
+                const std::size_t i = unique_cells[u];
+                const std::size_t row = i / static_cast<std::size_t>(result.n_engines);
+                const std::size_t e = i % static_cast<std::size_t>(result.n_engines);
+                result.cells[i] = plan.engines[e]->evaluate(context, *masks[row]);
+            }
+        },
+        /*chunk_size=*/1);
+    for (std::size_t i = 0; i < n_cells; ++i)
+        if (computed_as[i] != i) result.cells[i] = result.cells[computed_as[i]];
+
+    // Third-party engines must honour their own column contract — a
+    // mismatched cell would silently misalign `value()` and `write_csv`.
+    for (std::size_t i = 0; i < n_cells; ++i)
+        ensures(result.cells[i].values.size() ==
+                    plan.engines[i % static_cast<std::size_t>(result.n_engines)]
+                        ->columns()
+                        .size(),
+                "engine returned a different number of values than its columns");
+    return result;
+}
+
+} // namespace ssplane::exp

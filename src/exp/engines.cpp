@@ -1,0 +1,150 @@
+#include "exp/metric_engine.h"
+
+namespace ssplane::exp {
+
+namespace {
+
+template <class T>
+engine_output make_output(std::vector<double> values, T result)
+{
+    engine_output out;
+    out.values = std::move(values);
+    out.detail = std::make_shared<const T>(std::move(result));
+    out.detail_type = &typeid(T);
+    return out;
+}
+
+template <class T>
+const T& typed_detail(const engine_output& output)
+{
+    expects(output.detail != nullptr, "cell has no detail payload");
+    expects(output.detail_type != nullptr && *output.detail_type == typeid(T),
+            "cell detail is not the requested engine's result type");
+    return *static_cast<const T*>(output.detail.get());
+}
+
+} // namespace
+
+// --- survivability ---------------------------------------------------------
+
+const std::string& survivability_engine::name() const noexcept
+{
+    static const std::string name = "survivability";
+    return name;
+}
+
+const std::vector<std::string>& survivability_engine::columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "n_failed", "giant_component_fraction", "pair_reachable_fraction",
+        "mean_latency_ms", "p95_latency_ms"};
+    return cols;
+}
+
+engine_output survivability_engine::evaluate(
+    const evaluation_context& context, const std::vector<std::uint8_t>& failed) const
+{
+    auto result = lsn::run_scenario_sweep_masked(context.builder(), context.offsets(),
+                                                 context.positions(), failed);
+    const auto& m = result.metrics;
+    return make_output({static_cast<double>(m.n_failed), m.giant_component_fraction,
+                        m.pair_reachable_fraction, m.mean_latency_ms,
+                        m.p95_latency_ms},
+                       std::move(result));
+}
+
+const lsn::scenario_sweep_result& survivability_engine::detail(
+    const engine_output& output)
+{
+    return typed_detail<lsn::scenario_sweep_result>(output);
+}
+
+// --- traffic ----------------------------------------------------------------
+
+traffic_engine::traffic_engine(const demand::demand_model& demand,
+                               traffic::traffic_sweep_options options)
+    : demand_(&demand), options_(std::move(options))
+{
+}
+
+const std::string& traffic_engine::name() const noexcept
+{
+    static const std::string name = "traffic";
+    return name;
+}
+
+const std::vector<std::string>& traffic_engine::columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "offered_gbps_mean",    "delivered_gbps_mean",
+        "delivered_fraction",   "mean_path_latency_ms",
+        "p95_link_utilization", "congested_link_fraction"};
+    return cols;
+}
+
+void traffic_engine::validate_options() const { traffic::validate(options_.capacity); }
+
+engine_output traffic_engine::evaluate(const evaluation_context& context,
+                                       const std::vector<std::uint8_t>& failed) const
+{
+    auto result =
+        traffic::run_traffic_sweep_masked(context.builder(), context.offsets(),
+                                          context.positions(), failed, *demand_,
+                                          options_);
+    const auto& m = result.metrics;
+    return make_output({m.offered_gbps_mean, m.delivered_gbps_mean,
+                        m.delivered_fraction, m.mean_path_latency_ms,
+                        m.p95_link_utilization, m.congested_link_fraction},
+                       std::move(result));
+}
+
+const traffic::traffic_sweep_result& traffic_engine::detail(const engine_output& output)
+{
+    return typed_detail<traffic::traffic_sweep_result>(output);
+}
+
+// --- bulk -------------------------------------------------------------------
+
+bulk_engine::bulk_engine(std::vector<tempo::bulk_transfer_request> requests,
+                         tempo::bulk_route_options options, bool per_step_baseline)
+    : requests_(std::move(requests)),
+      options_(options),
+      per_step_baseline_(per_step_baseline),
+      name_(per_step_baseline ? "bulk_per_step" : "bulk")
+{
+}
+
+const std::string& bulk_engine::name() const noexcept { return name_; }
+
+const std::vector<std::string>& bulk_engine::columns() const noexcept
+{
+    static const std::vector<std::string> cols{"offered_gb", "delivered_gb",
+                                               "delivered_fraction", "max_buffer_gb"};
+    return cols;
+}
+
+void bulk_engine::validate_options() const { tempo::validate(options_); }
+
+engine_output bulk_engine::evaluate(const evaluation_context& context,
+                                    const std::vector<std::uint8_t>& failed) const
+{
+    auto result =
+        per_step_baseline_
+            ? tempo::run_bulk_sweep_per_step_baseline_masked(
+                  context.builder(), context.offsets(), context.positions(), failed,
+                  requests_, options_)
+            : tempo::run_bulk_sweep_masked(context.builder(), context.offsets(),
+                                           context.positions(), failed, requests_,
+                                           options_);
+    const auto& r = result.routing;
+    return make_output({r.offered_gb, r.delivered_gb, r.delivered_fraction,
+                        r.max_buffer_gb},
+                       std::move(result));
+}
+
+const tempo::bulk_sweep_result& bulk_engine::detail(const engine_output& output)
+{
+    return typed_detail<tempo::bulk_sweep_result>(output);
+}
+
+} // namespace ssplane::exp

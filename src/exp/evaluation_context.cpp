@@ -1,0 +1,74 @@
+#include "exp/evaluation_context.h"
+
+namespace ssplane::exp {
+
+evaluation_context::evaluation_context(const lsn::lsn_topology& topology,
+                                       std::vector<lsn::ground_station> stations,
+                                       const astro::instant& epoch,
+                                       const lsn::scenario_sweep_options& grid)
+    : grid_(grid),
+      builder_(topology, std::move(stations), epoch, grid.min_elevation_rad,
+               grid.max_isl_range_m),
+      offsets_(lsn::sweep_offsets(grid.duration_s, grid.step_s)),
+      positions_(builder_.positions_at_offsets(offsets_))
+{
+}
+
+evaluation_context::mask_key evaluation_context::key_of(
+    const lsn::failure_scenario& scenario)
+{
+    mask_key key;
+    key.mode = static_cast<int>(scenario.mode);
+    switch (scenario.mode) {
+    case lsn::failure_mode::none:
+        // No randomness at all: every baseline shares one all-zero mask.
+        break;
+    case lsn::failure_mode::random_loss:
+        key.seed = scenario.seed;
+        key.knobs = {scenario.loss_fraction};
+        break;
+    case lsn::failure_mode::plane_attack:
+        key.seed = scenario.seed;
+        key.knobs = {static_cast<double>(scenario.planes_attacked)};
+        break;
+    case lsn::failure_mode::radiation_poisson:
+        key.seed = scenario.seed;
+        key.knobs = scenario.plane_daily_fluence;
+        key.knobs.push_back(scenario.horizon_days);
+        // Only the rate-map fields of failure_model_options feed the draw
+        // (annual_failure_rate); the sparing knobs never do.
+        key.knobs.push_back(scenario.failure_options.base_annual_failure_rate);
+        key.knobs.push_back(scenario.failure_options.reference_electron_fluence);
+        key.knobs.push_back(scenario.failure_options.fluence_exponent);
+        break;
+    }
+    return key;
+}
+
+const std::vector<std::uint8_t>& evaluation_context::failure_mask(
+    const lsn::failure_scenario& scenario) const
+{
+    // Reject invalid knobs before the cache lookup: a NaN knob would break
+    // the map's ordering and could alias an existing valid entry.
+    lsn::validate(scenario, topology());
+    auto key = key_of(scenario);
+    {
+        const std::lock_guard lock(mask_mutex_);
+        const auto it = masks_.find(key);
+        if (it != masks_.end()) return it->second;
+    }
+    // Draw outside the lock (the draw can be expensive on large
+    // constellations); it is deterministic, so a racing duplicate draw
+    // produces the identical mask and the first insert wins harmlessly.
+    auto mask = lsn::sample_failures(topology(), scenario);
+    const std::lock_guard lock(mask_mutex_);
+    return masks_.emplace(std::move(key), std::move(mask)).first->second;
+}
+
+std::size_t evaluation_context::mask_cache_size() const
+{
+    const std::lock_guard lock(mask_mutex_);
+    return masks_.size();
+}
+
+} // namespace ssplane::exp

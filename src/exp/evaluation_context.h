@@ -1,0 +1,97 @@
+// Shared evaluation substrate of an experiment campaign (ROADMAP "scenario
+// batching"; paper §2.1/§5 joint sustainability-survivability studies).
+//
+// Before this layer, every sweep engine (`lsn::run_scenario_sweep`,
+// `traffic::run_traffic_sweep`, `tempo::run_bulk_sweep`) re-paid the shared
+// work per call: propagator construction, the batched `positions_at_offsets`
+// propagation pass and the `sample_failures` draw. An `evaluation_context`
+// is built once per (topology, stations, epoch, time grid) and owns exactly
+// that shared state:
+//
+//   * the `lsn::snapshot_builder` (hoisted propagators + ground geometry),
+//   * the `sweep_offsets` time grid and the one `positions_at_offsets`
+//     batched propagation pass over it,
+//   * a per-scenario failure-mask cache, keyed on the knobs that actually
+//     feed the draw — scenarios sharing (mode, knobs, seed) reuse one
+//     `sample_failures` result bit-identically.
+//
+// Every metric engine of a campaign then evaluates against this one
+// context, so a cross-metric study pays the shared work once instead of
+// once per (scenario, engine) cell.
+#ifndef SSPLANE_EXP_EVALUATION_CONTEXT_H
+#define SSPLANE_EXP_EVALUATION_CONTEXT_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "lsn/scenario.h"
+
+namespace ssplane::exp {
+
+class evaluation_context {
+public:
+    /// Builds the snapshot builder, the time grid and the batched
+    /// propagation pass. The topology must outlive the context (it is
+    /// referenced by the builder, not copied).
+    evaluation_context(const lsn::lsn_topology& topology,
+                       std::vector<lsn::ground_station> stations,
+                       const astro::instant& epoch,
+                       const lsn::scenario_sweep_options& grid = {});
+
+    const lsn::snapshot_builder& builder() const noexcept { return builder_; }
+    const lsn::lsn_topology& topology() const noexcept { return builder_.topology(); }
+    const astro::instant& epoch() const noexcept { return builder_.epoch(); }
+    const lsn::scenario_sweep_options& grid() const noexcept { return grid_; }
+    std::span<const double> offsets() const noexcept { return offsets_; }
+    const std::vector<std::vector<vec3>>& positions() const noexcept
+    {
+        return positions_;
+    }
+    int n_steps() const noexcept { return static_cast<int>(offsets_.size()); }
+    int n_ground() const noexcept { return builder_.n_ground(); }
+    int n_satellites() const noexcept { return builder_.n_satellites(); }
+
+    /// The scenario's failure mask, drawn through `lsn::sample_failures` on
+    /// first use and cached. Scenarios sharing (mode, mode-relevant knobs,
+    /// seed) hit one cache entry — a `none` baseline dedupes regardless of
+    /// its seed. The returned reference stays valid for the context's
+    /// lifetime. Thread-safe; the draw itself is deterministic, so
+    /// concurrent first calls agree.
+    const std::vector<std::uint8_t>& failure_mask(
+        const lsn::failure_scenario& scenario) const;
+
+    /// Distinct masks drawn so far (observability for dedup tests).
+    std::size_t mask_cache_size() const;
+
+private:
+    /// Canonical dedup key: only the fields `sample_failures` actually reads
+    /// for the scenario's mode participate, so e.g. two `random_loss`
+    /// scenarios with different (unused) `horizon_days` share a draw.
+    struct mask_key {
+        int mode = 0;
+        std::uint64_t seed = 0;
+        std::vector<double> knobs;
+
+        bool operator<(const mask_key& other) const
+        {
+            if (mode != other.mode) return mode < other.mode;
+            if (seed != other.seed) return seed < other.seed;
+            return knobs < other.knobs;
+        }
+    };
+    static mask_key key_of(const lsn::failure_scenario& scenario);
+
+    lsn::scenario_sweep_options grid_;
+    lsn::snapshot_builder builder_;
+    std::vector<double> offsets_;
+    std::vector<std::vector<vec3>> positions_;
+    mutable std::mutex mask_mutex_;
+    mutable std::map<mask_key, std::vector<std::uint8_t>> masks_;
+};
+
+} // namespace ssplane::exp
+
+#endif // SSPLANE_EXP_EVALUATION_CONTEXT_H

@@ -1,0 +1,125 @@
+// Pluggable metric engines of the campaign API.
+//
+// A `metric_engine` judges one failure scenario against the shared
+// `evaluation_context` and reports a fixed set of named scalar columns plus
+// its full engine-typed result (for callers that need matrices, per-step
+// traces or per-request slots rather than the scalar table). The three
+// existing sweep engines — survivability (`lsn::run_scenario_sweep`),
+// delivered traffic (`traffic::run_traffic_sweep`) and delay-tolerant bulk
+// delivery (`tempo::run_bulk_sweep`) — are adapted onto this interface by
+// reusing their mask-taking internals, so a campaign cell is bit-identical
+// to the legacy entry point it replaces.
+#ifndef SSPLANE_EXP_METRIC_ENGINE_H
+#define SSPLANE_EXP_METRIC_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "exp/evaluation_context.h"
+#include "tempo/bulk_sweep.h"
+#include "traffic/traffic_sweep.h"
+
+namespace ssplane::exp {
+
+/// One engine's output for one scenario cell.
+struct engine_output {
+    std::vector<double> values; ///< One per `metric_engine::columns()` entry.
+    /// The engine-typed full result; read through the producing engine's
+    /// static `detail()` accessor, which checks `detail_type` — asking an
+    /// engine with a different result type for a cell is a
+    /// `contract_violation`, not UB. Engines sharing a result type (the two
+    /// `bulk_engine` variants) are indistinguishable here: address their
+    /// cells via `campaign_result::engine_index(name)`, not hardcoded
+    /// positions.
+    std::shared_ptr<const void> detail;
+    const std::type_info* detail_type = nullptr;
+};
+
+/// Interface every campaign metric engine implements. Engines are immutable
+/// after construction and `evaluate` is const, so one engine instance can
+/// serve many (scenario, cell) evaluations concurrently.
+class metric_engine {
+public:
+    virtual ~metric_engine() = default;
+
+    /// Stable short name, used to prefix the campaign's flattened columns
+    /// ("traffic.delivered_fraction").
+    virtual const std::string& name() const noexcept = 0;
+
+    /// Names of the scalar columns `evaluate` fills, in order.
+    virtual const std::vector<std::string>& columns() const noexcept = 0;
+
+    /// Reject degenerate engine options with a `contract_violation` before
+    /// the campaign fans out, so errors surface serially and early.
+    virtual void validate_options() const {}
+
+    /// Judge one scenario (its pre-drawn failure mask) against the shared
+    /// context. Must be bit-identical for any `SSPLANE_THREADS` value.
+    virtual engine_output evaluate(const evaluation_context& context,
+                                   const std::vector<std::uint8_t>& failed) const = 0;
+};
+
+/// Survivability: giant component, all-pairs reachability and latency
+/// (adapts `lsn::run_scenario_sweep_masked`).
+class survivability_engine final : public metric_engine {
+public:
+    const std::string& name() const noexcept override;
+    const std::vector<std::string>& columns() const noexcept override;
+    engine_output evaluate(const evaluation_context& context,
+                           const std::vector<std::uint8_t>& failed) const override;
+
+    /// The full sweep result behind a cell this engine produced.
+    static const lsn::scenario_sweep_result& detail(const engine_output& output);
+};
+
+/// Delivered capacity against the diurnal gravity demand matrix (adapts
+/// `traffic::run_traffic_sweep_masked`). The demand model must outlive the
+/// engine.
+class traffic_engine final : public metric_engine {
+public:
+    explicit traffic_engine(const demand::demand_model& demand,
+                            traffic::traffic_sweep_options options = {});
+
+    const std::string& name() const noexcept override;
+    const std::vector<std::string>& columns() const noexcept override;
+    void validate_options() const override;
+    engine_output evaluate(const evaluation_context& context,
+                           const std::vector<std::uint8_t>& failed) const override;
+
+    static const traffic::traffic_sweep_result& detail(const engine_output& output);
+
+private:
+    const demand::demand_model* demand_;
+    traffic::traffic_sweep_options options_;
+};
+
+/// Delay-tolerant bulk delivery over the time-expanded graph (adapts
+/// `tempo::run_bulk_sweep_masked`); with `per_step_baseline` the per-epoch
+/// replication floor (`run_bulk_sweep_per_step_baseline_masked`) instead,
+/// so a plan can carry both and report the store-and-forward gain.
+class bulk_engine final : public metric_engine {
+public:
+    explicit bulk_engine(std::vector<tempo::bulk_transfer_request> requests,
+                         tempo::bulk_route_options options = {},
+                         bool per_step_baseline = false);
+
+    const std::string& name() const noexcept override;
+    const std::vector<std::string>& columns() const noexcept override;
+    void validate_options() const override;
+    engine_output evaluate(const evaluation_context& context,
+                           const std::vector<std::uint8_t>& failed) const override;
+
+    static const tempo::bulk_sweep_result& detail(const engine_output& output);
+
+private:
+    std::vector<tempo::bulk_transfer_request> requests_;
+    tempo::bulk_route_options options_;
+    bool per_step_baseline_;
+    std::string name_;
+};
+
+} // namespace ssplane::exp
+
+#endif // SSPLANE_EXP_METRIC_ENGINE_H

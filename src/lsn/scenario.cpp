@@ -143,9 +143,67 @@ network_snapshot snapshot_builder::snapshot_from_positions(
     return snap;
 }
 
+void validate(const failure_scenario& scenario)
+{
+    switch (scenario.mode) {
+    case failure_mode::none:
+        break;
+
+    case failure_mode::random_loss:
+        expects(std::isfinite(scenario.loss_fraction) &&
+                    scenario.loss_fraction >= 0.0 && scenario.loss_fraction <= 1.0,
+                "loss fraction must be in [0, 1]");
+        break;
+
+    case failure_mode::plane_attack:
+        expects(scenario.planes_attacked >= 0,
+                "planes_attacked must be non-negative");
+        break;
+
+    case failure_mode::radiation_poisson:
+        expects(std::isfinite(scenario.horizon_days) && scenario.horizon_days > 0.0,
+                "horizon_days must be finite and positive");
+        for (const double fluence : scenario.plane_daily_fluence)
+            expects(std::isfinite(fluence) && fluence >= 0.0,
+                    "plane fluence must be finite and non-negative");
+        // The rate-map fields feed annual_failure_rate (and the campaign's
+        // mask-cache key), so they must be sane numbers too.
+        expects(std::isfinite(scenario.failure_options.base_annual_failure_rate) &&
+                    scenario.failure_options.base_annual_failure_rate >= 0.0,
+                "base annual failure rate must be finite and non-negative");
+        expects(std::isfinite(scenario.failure_options.reference_electron_fluence) &&
+                    scenario.failure_options.reference_electron_fluence > 0.0,
+                "reference fluence must be finite and positive");
+        expects(std::isfinite(scenario.failure_options.fluence_exponent),
+                "fluence exponent must be finite");
+        break;
+    }
+}
+
+void validate(const failure_scenario& scenario, const lsn_topology& topology)
+{
+    validate(scenario);
+    if (scenario.mode == failure_mode::plane_attack)
+        expects(scenario.planes_attacked <= plane_count(topology),
+                "planes_attacked must not exceed the plane count");
+    if (scenario.mode == failure_mode::radiation_poisson)
+        expects(scenario.plane_daily_fluence.size() ==
+                    static_cast<std::size_t>(plane_count(topology)),
+                "plane_daily_fluence must have exactly one entry per plane");
+}
+
+int plane_count(const lsn_topology& topology)
+{
+    int n_planes = 0;
+    for (const auto& sat : topology.satellites)
+        n_planes = std::max(n_planes, sat.plane + 1);
+    return n_planes;
+}
+
 std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
                                           const failure_scenario& scenario)
 {
+    validate(scenario, topology);
     const int n = static_cast<int>(topology.satellites.size());
     std::vector<std::uint8_t> failed(static_cast<std::size_t>(n), 0);
     rng r(scenario.seed);
@@ -155,8 +213,6 @@ std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
         break;
 
     case failure_mode::random_loss: {
-        expects(scenario.loss_fraction >= 0.0 && scenario.loss_fraction <= 1.0,
-                "loss fraction must be in [0, 1]");
         const int k = static_cast<int>(std::lround(scenario.loss_fraction * n));
         for (const int i : draw_distinct(n, k, r))
             failed[static_cast<std::size_t>(i)] = 1;
@@ -164,11 +220,7 @@ std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
     }
 
     case failure_mode::plane_attack: {
-        int n_planes = 0;
-        for (const auto& sat : topology.satellites)
-            n_planes = std::max(n_planes, sat.plane + 1);
-        expects(scenario.planes_attacked >= 0 && scenario.planes_attacked <= n_planes,
-                "planes_attacked must be in [0, n_planes]");
+        const int n_planes = plane_count(topology);
         const auto attacked =
             draw_distinct(n_planes, scenario.planes_attacked, r);
         std::vector<std::uint8_t> plane_hit(static_cast<std::size_t>(n_planes), 0);
@@ -182,11 +234,8 @@ std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
     }
 
     case failure_mode::radiation_poisson: {
-        expects(scenario.horizon_days >= 0.0, "horizon must be non-negative");
         for (int i = 0; i < n; ++i) {
             const int plane = topology.satellites[static_cast<std::size_t>(i)].plane;
-            expects(static_cast<std::size_t>(plane) < scenario.plane_daily_fluence.size(),
-                    "plane_daily_fluence must cover every plane index");
             const double rate = annual_failure_rate(
                 scenario.plane_daily_fluence[static_cast<std::size_t>(plane)],
                 scenario.failure_options);
@@ -283,9 +332,20 @@ scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
                                          const std::vector<std::vector<vec3>>& positions,
                                          const failure_scenario& scenario)
 {
+    return run_scenario_sweep_masked(builder, offsets_s, positions,
+                                     sample_failures(builder.topology(), scenario));
+}
+
+scenario_sweep_result run_scenario_sweep_masked(
+    const snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed)
+{
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
-    const auto failed = sample_failures(builder.topology(), scenario);
+    expects(failed.empty() ||
+                failed.size() == static_cast<std::size_t>(builder.n_satellites()),
+            "failure mask size mismatch");
 
     const int n_steps = static_cast<int>(offsets_s.size());
     const int n_ground = builder.n_ground();

@@ -97,8 +97,24 @@ struct failure_scenario {
     std::uint64_t seed = 0;
 };
 
+/// Reject out-of-range scenario knobs with a clear `contract_violation`:
+/// `loss_fraction` outside [0, 1], negative `planes_attacked`, a
+/// non-positive or non-finite `horizon_days` or negative fluence entries
+/// for `radiation_poisson`. Only the fields of the scenario's own `mode`
+/// are judged — mirrors `traffic::validate(capacity_options)`.
+void validate(const failure_scenario& scenario);
+
+/// Additionally checks the topology-dependent constraints: `planes_attacked`
+/// cannot exceed the plane count and `plane_daily_fluence` must have exactly
+/// one entry per plane. Called by `sample_failures` and the campaign runner.
+void validate(const failure_scenario& scenario, const lsn_topology& topology);
+
+/// Number of orbital planes of a topology (max plane index + 1).
+int plane_count(const lsn_topology& topology);
+
 /// Draw the failed-satellite mask for a scenario (size n_satellites,
-/// 1 = failed). Deterministic in `scenario.seed`.
+/// 1 = failed). Deterministic in `scenario.seed`. Validates the scenario
+/// against the topology first.
 std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
                                           const failure_scenario& scenario);
 
@@ -167,6 +183,15 @@ scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
                                          std::span<const double> offsets_s,
                                          const std::vector<std::vector<vec3>>& positions,
                                          const failure_scenario& scenario);
+
+/// Innermost sweep path: the failure mask is supplied instead of drawn, so
+/// callers holding a mask cache (the campaign runner) evaluate many sweeps
+/// against one `sample_failures` draw. `failed` may be empty (no failures)
+/// or size n_satellites. All other overloads delegate here.
+scenario_sweep_result run_scenario_sweep_masked(
+    const snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed);
 
 /// p95 latency inflation of `scenario` relative to `baseline` (1 = no
 /// inflation). Returns 0 when either p95 is undefined because no pair was

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/expects.h"
+
 namespace ssplane::tempo {
 
 bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
@@ -11,7 +13,21 @@ bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
                                  std::span<const bulk_transfer_request> requests,
                                  const bulk_route_options& options)
 {
-    const auto failed = lsn::sample_failures(builder.topology(), scenario);
+    return run_bulk_sweep_masked(builder, offsets_s, positions,
+                                 lsn::sample_failures(builder.topology(), scenario),
+                                 requests, options);
+}
+
+bulk_sweep_result run_bulk_sweep_masked(const lsn::snapshot_builder& builder,
+                                        std::span<const double> offsets_s,
+                                        const std::vector<std::vector<vec3>>& positions,
+                                        const std::vector<std::uint8_t>& failed,
+                                        std::span<const bulk_transfer_request> requests,
+                                        const bulk_route_options& options)
+{
+    expects(failed.empty() ||
+                failed.size() == static_cast<std::size_t>(builder.n_satellites()),
+            "failure mask size mismatch");
     auto graph =
         build_time_expanded_graph(builder, offsets_s, positions, failed, options);
 
@@ -44,8 +60,22 @@ bulk_sweep_result run_bulk_sweep_per_step_baseline(
     std::span<const bulk_transfer_request> requests,
     const bulk_route_options& options)
 {
+    return run_bulk_sweep_per_step_baseline_masked(
+        builder, offsets_s, positions,
+        lsn::sample_failures(builder.topology(), scenario), requests, options);
+}
+
+bulk_sweep_result run_bulk_sweep_per_step_baseline_masked(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options)
+{
+    expects(failed.empty() ||
+                failed.size() == static_cast<std::size_t>(builder.n_satellites()),
+            "failure mask size mismatch");
     validate(options); // fail before paying the parallel materialization
-    const auto failed = lsn::sample_failures(builder.topology(), scenario);
     const auto snapshots =
         materialize_snapshots(builder, offsets_s, positions, failed);
 

@@ -37,6 +37,17 @@ bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
                                  std::span<const bulk_transfer_request> requests,
                                  const bulk_route_options& options = {});
 
+/// Innermost sweep path: the failure mask is supplied instead of drawn, so
+/// callers holding a mask cache (the campaign runner) evaluate many sweeps
+/// against one `sample_failures` draw. `failed` may be empty (no failures)
+/// or size n_satellites. The scenario overloads delegate here.
+bulk_sweep_result run_bulk_sweep_masked(const lsn::snapshot_builder& builder,
+                                        std::span<const double> offsets_s,
+                                        const std::vector<std::vector<vec3>>& positions,
+                                        const std::vector<std::uint8_t>& failed,
+                                        std::span<const bulk_transfer_request> requests,
+                                        const bulk_route_options& options = {});
+
 /// Convenience overload that builds the builder and propagation pass
 /// itself, mirroring the one-shot `run_traffic_sweep` signature.
 bulk_sweep_result run_bulk_sweep(const lsn::lsn_topology& topology,
@@ -54,6 +65,15 @@ bulk_sweep_result run_bulk_sweep_per_step_baseline(
     const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
     const std::vector<std::vector<vec3>>& positions,
     const lsn::failure_scenario& scenario,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options = {});
+
+/// Mask-taking variant of the per-step baseline, mirroring
+/// `run_bulk_sweep_masked` for campaign engines.
+bulk_sweep_result run_bulk_sweep_per_step_baseline_masked(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed,
     std::span<const bulk_transfer_request> requests,
     const bulk_route_options& options = {});
 

@@ -15,12 +15,25 @@ traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
                                        const demand::demand_model& demand,
                                        const traffic_sweep_options& options)
 {
+    return run_traffic_sweep_masked(builder, offsets_s, positions,
+                                    lsn::sample_failures(builder.topology(), scenario),
+                                    demand, options);
+}
+
+traffic_sweep_result run_traffic_sweep_masked(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed, const demand::demand_model& demand,
+    const traffic_sweep_options& options)
+{
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
+    expects(failed.empty() ||
+                failed.size() == static_cast<std::size_t>(builder.n_satellites()),
+            "failure mask size mismatch");
     // Fail on degenerate knobs before the parallel fan-out so the error is
     // a clear contract_violation, not one racing out of a worker.
     validate(options.capacity);
-    const auto failed = lsn::sample_failures(builder.topology(), scenario);
     const int n_steps = static_cast<int>(offsets_s.size());
 
     // Per-step result slots: each step writes only its own entry, so the

@@ -62,6 +62,16 @@ traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
                                        const demand::demand_model& demand,
                                        const traffic_sweep_options& options = {});
 
+/// Innermost sweep path: the failure mask is supplied instead of drawn, so
+/// callers holding a mask cache (the campaign runner) evaluate many sweeps
+/// against one `sample_failures` draw. `failed` may be empty (no failures)
+/// or size n_satellites. The scenario overloads delegate here.
+traffic_sweep_result run_traffic_sweep_masked(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const std::vector<std::uint8_t>& failed, const demand::demand_model& demand,
+    const traffic_sweep_options& options = {});
+
 /// Convenience overload that builds the builder and propagation pass
 /// itself, mirroring the one-shot `run_scenario_sweep` signature.
 traffic_sweep_result run_traffic_sweep(const lsn::lsn_topology& topology,

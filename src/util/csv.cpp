@@ -13,7 +13,7 @@ csv_writer::csv_writer(std::ostream& out, std::vector<std::string> columns)
     expects(!columns.empty(), "csv_writer needs at least one column");
     for (std::size_t i = 0; i < columns.size(); ++i) {
         if (i > 0) out_ << ',';
-        out_ << columns[i];
+        out_ << csv_escape(columns[i]);
     }
     out_ << '\n';
 }
@@ -39,10 +39,24 @@ void csv_writer::row_text(const std::vector<std::string>& cells)
     expects(cells.size() == n_columns_, "csv row width mismatch");
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i > 0) out_ << ',';
-        out_ << cells[i];
+        out_ << csv_escape(cells[i]);
     }
     out_ << '\n';
     ++rows_;
+}
+
+std::string csv_escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+    std::string escaped;
+    escaped.reserve(cell.size() + 2);
+    escaped.push_back('"');
+    for (const char c : cell) {
+        if (c == '"') escaped.push_back('"');
+        escaped.push_back(c);
+    }
+    escaped.push_back('"');
+    return escaped;
 }
 
 std::string format_number(double value, int precision)

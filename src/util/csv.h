@@ -19,7 +19,7 @@ namespace ssplane {
 ///   csv.row({550.0, 1584.0});
 class csv_writer {
 public:
-    /// Writes the header line immediately.
+    /// Writes the header line immediately (cells escaped like `row_text`).
     csv_writer(std::ostream& out, std::vector<std::string> columns);
 
     /// Write one row of numeric cells; the count must match the header.
@@ -28,7 +28,9 @@ public:
     /// Write one row of numeric cells; the count must match the header.
     void row(const std::vector<double>& cells);
 
-    /// Write one row of preformatted string cells.
+    /// Write one row of string cells; cells containing a comma, quote or
+    /// newline are quoted per RFC 4180 (`csv_escape`), numeric-looking
+    /// cells pass through untouched.
     void row_text(const std::vector<std::string>& cells);
 
     /// Number of data rows written so far.
@@ -43,6 +45,11 @@ private:
 /// Format a double compactly (up to `precision` significant digits,
 /// no trailing zeros).
 std::string format_number(double value, int precision = 10);
+
+/// RFC 4180 field escaping: cells containing a comma, double quote, CR or
+/// LF come back wrapped in double quotes with inner quotes doubled; all
+/// other cells come back unchanged.
+std::string csv_escape(const std::string& cell);
 
 } // namespace ssplane
 

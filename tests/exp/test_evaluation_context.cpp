@@ -1,0 +1,149 @@
+#include "exp/evaluation_context.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::exp {
+namespace {
+
+lsn::lsn_topology small_walker(int planes = 4, int sats = 4)
+{
+    constellation::walker_parameters params;
+    params.altitude_m = 550.0e3;
+    params.inclination_rad = deg2rad(53.0);
+    params.n_planes = planes;
+    params.sats_per_plane = sats;
+    params.phasing_f = 1;
+    return lsn::build_walker_grid_topology(params);
+}
+
+lsn::scenario_sweep_options short_grid()
+{
+    lsn::scenario_sweep_options grid;
+    grid.duration_s = 3600.0;
+    grid.step_s = 900.0;
+    grid.min_elevation_rad = deg2rad(25.0);
+    return grid;
+}
+
+TEST(EvaluationContext, OwnsGridAndBatchedPropagationPass)
+{
+    const auto topo = small_walker();
+    const evaluation_context context(topo, lsn::default_ground_stations(),
+                                     astro::instant::j2000(), short_grid());
+
+    const auto offsets = lsn::sweep_offsets(3600.0, 900.0);
+    ASSERT_EQ(context.offsets().size(), offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i)
+        EXPECT_EQ(context.offsets()[i], offsets[i]);
+    EXPECT_EQ(context.n_steps(), 4);
+    EXPECT_EQ(context.n_satellites(), 16);
+    EXPECT_EQ(context.n_ground(), 12);
+
+    // The stored positions are the builder's own batched pass, verbatim.
+    const auto fresh = context.builder().positions_at_offsets(context.offsets());
+    ASSERT_EQ(context.positions().size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+        for (std::size_t s = 0; s < fresh[i].size(); ++s) {
+            EXPECT_EQ(context.positions()[i][s].x, fresh[i][s].x);
+            EXPECT_EQ(context.positions()[i][s].y, fresh[i][s].y);
+            EXPECT_EQ(context.positions()[i][s].z, fresh[i][s].z);
+        }
+}
+
+TEST(EvaluationContext, MaskCacheHitIsBitIdenticalToFreshDraw)
+{
+    const auto topo = small_walker(5, 5);
+    const evaluation_context context(topo, {}, astro::instant::j2000(), short_grid());
+
+    lsn::failure_scenario scenario;
+    scenario.mode = lsn::failure_mode::random_loss;
+    scenario.loss_fraction = 0.3;
+    scenario.seed = 42;
+
+    const auto& cached = context.failure_mask(scenario);
+    EXPECT_EQ(cached, lsn::sample_failures(topo, scenario));
+
+    // A second lookup of the identical scenario is the *same* cache entry,
+    // not a re-draw.
+    const auto& again = context.failure_mask(scenario);
+    EXPECT_EQ(&again, &cached);
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+}
+
+TEST(EvaluationContext, MaskCacheDedupesOnModeKnobsAndSeed)
+{
+    const auto topo = small_walker(5, 5);
+    const evaluation_context context(topo, {}, astro::instant::j2000(), short_grid());
+
+    lsn::failure_scenario a;
+    a.mode = lsn::failure_mode::random_loss;
+    a.loss_fraction = 0.3;
+    a.seed = 1;
+    context.failure_mask(a);
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+
+    // Fields the mode never reads do not split the cache entry.
+    lsn::failure_scenario a_noise = a;
+    a_noise.horizon_days = 77.0;
+    a_noise.planes_attacked = 3;
+    EXPECT_EQ(&context.failure_mask(a_noise), &context.failure_mask(a));
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+
+    // A different seed or knob is a different draw.
+    lsn::failure_scenario b = a;
+    b.seed = 2;
+    context.failure_mask(b);
+    EXPECT_EQ(context.mask_cache_size(), 2u);
+    lsn::failure_scenario c = a;
+    c.loss_fraction = 0.4;
+    context.failure_mask(c);
+    EXPECT_EQ(context.mask_cache_size(), 3u);
+
+    // `none` baselines share one all-zero mask regardless of seed.
+    lsn::failure_scenario none_a;
+    none_a.seed = 10;
+    lsn::failure_scenario none_b;
+    none_b.seed = 20;
+    EXPECT_EQ(&context.failure_mask(none_a), &context.failure_mask(none_b));
+    EXPECT_EQ(context.mask_cache_size(), 4u);
+}
+
+TEST(EvaluationContext, MaskLookupValidatesScenario)
+{
+    const auto topo = small_walker(3, 3);
+    const evaluation_context context(topo, {}, astro::instant::j2000(), short_grid());
+
+    lsn::failure_scenario bad;
+    bad.mode = lsn::failure_mode::random_loss;
+    bad.loss_fraction = 1.5;
+    EXPECT_THROW(context.failure_mask(bad), contract_violation);
+
+    // A NaN knob is rejected even when a similar valid scenario is already
+    // cached — NaN keys must never reach the cache's ordered lookup, where
+    // they would alias the valid entry.
+    lsn::failure_scenario valid;
+    valid.mode = lsn::failure_mode::random_loss;
+    valid.loss_fraction = 0.3;
+    valid.seed = 1;
+    context.failure_mask(valid);
+    lsn::failure_scenario nan_knob = valid;
+    nan_knob.loss_fraction = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(context.failure_mask(nan_knob), contract_violation);
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+
+    // Same for NaN radiation rate-map fields, which also feed the key.
+    lsn::failure_scenario nan_rate;
+    nan_rate.mode = lsn::failure_mode::radiation_poisson;
+    nan_rate.plane_daily_fluence.assign(3, 1.0e9);
+    nan_rate.failure_options.fluence_exponent =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(context.failure_mask(nan_rate), contract_violation);
+}
+
+} // namespace
+} // namespace ssplane::exp

@@ -152,6 +152,52 @@ TEST(Scenario, SampleFailuresDeterministicInSeed)
     EXPECT_EQ(sample_failures(topo, s), sample_failures(topo, s));
 }
 
+TEST(Scenario, ValidateRejectsOutOfRangeKnobs)
+{
+    // Valid scenarios of every mode pass both forms.
+    const auto topo = build_walker_grid_topology(small_grid(3, 3));
+    EXPECT_NO_THROW(validate(failure_scenario{}));
+    failure_scenario ok;
+    ok.mode = failure_mode::radiation_poisson;
+    ok.plane_daily_fluence.assign(3, 1.0e9);
+    EXPECT_NO_THROW(validate(ok, topo));
+
+    failure_scenario low;
+    low.mode = failure_mode::random_loss;
+    low.loss_fraction = -0.1;
+    EXPECT_THROW(validate(low), contract_violation);
+    low.loss_fraction = 1.5;
+    EXPECT_THROW(validate(low), contract_violation);
+    low.loss_fraction = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(validate(low), contract_violation);
+
+    failure_scenario planes;
+    planes.mode = failure_mode::plane_attack;
+    planes.planes_attacked = -1;
+    EXPECT_THROW(validate(planes), contract_violation);
+
+    failure_scenario horizon = ok;
+    horizon.horizon_days = 0.0; // non-positive exposure window
+    EXPECT_THROW(validate(horizon), contract_violation);
+    horizon.horizon_days = -3.0;
+    EXPECT_THROW(validate(horizon), contract_violation);
+    failure_scenario fluence = ok;
+    fluence.plane_daily_fluence[1] = -1.0;
+    EXPECT_THROW(validate(fluence), contract_violation);
+
+    // Topology-aware form: plane budget and fluence coverage. The fluence
+    // vector must match the plane count exactly — extra entries are as
+    // suspect as missing ones.
+    failure_scenario over = planes;
+    over.planes_attacked = 4; // only 3 planes exist
+    EXPECT_THROW(validate(over, topo), contract_violation);
+    failure_scenario wide = ok;
+    wide.plane_daily_fluence.assign(5, 1.0e9);
+    EXPECT_THROW(validate(wide, topo), contract_violation);
+
+    EXPECT_EQ(plane_count(topo), 3);
+}
+
 TEST(Scenario, SampleFailuresValidation)
 {
     const auto topo = build_walker_grid_topology(small_grid(3, 3));
@@ -314,6 +360,38 @@ TEST(Scenario, SweepDeterministicAcrossThreadCounts)
         EXPECT_EQ(runs[i].pair_reachable_fraction, runs[0].pair_reachable_fraction);
         EXPECT_EQ(runs[i].pair_mean_latency_ms, runs[0].pair_mean_latency_ms);
     }
+}
+
+TEST(Scenario, MaskedSweepMatchesScenarioSweep)
+{
+    const auto topo = build_walker_grid_topology(small_grid(4, 5));
+    const auto all = default_ground_stations();
+    const std::vector<ground_station> stations(all.begin(), all.begin() + 5);
+    const snapshot_builder builder(topo, stations, astro::instant::j2000(),
+                                   deg2rad(25.0));
+    const auto offsets = sweep_offsets(3600.0, 600.0);
+    const auto positions = builder.positions_at_offsets(offsets);
+
+    failure_scenario scenario;
+    scenario.mode = failure_mode::random_loss;
+    scenario.loss_fraction = 0.2;
+    scenario.seed = 5;
+
+    const auto via_scenario = run_scenario_sweep(builder, offsets, positions, scenario);
+    const auto via_mask = run_scenario_sweep_masked(
+        builder, offsets, positions, sample_failures(topo, scenario));
+    EXPECT_EQ(via_mask.metrics.n_failed, via_scenario.metrics.n_failed);
+    EXPECT_EQ(via_mask.metrics.giant_component_fraction,
+              via_scenario.metrics.giant_component_fraction);
+    EXPECT_EQ(via_mask.metrics.p95_latency_ms, via_scenario.metrics.p95_latency_ms);
+    EXPECT_EQ(via_mask.pair_reachable_fraction, via_scenario.pair_reachable_fraction);
+    EXPECT_EQ(via_mask.pair_mean_latency_ms, via_scenario.pair_mean_latency_ms);
+
+    // An empty mask is the no-failure baseline.
+    const auto empty_mask = run_scenario_sweep_masked(builder, offsets, positions, {});
+    const auto baseline = run_scenario_sweep(builder, offsets, positions, {});
+    EXPECT_EQ(empty_mask.metrics.n_failed, 0);
+    EXPECT_EQ(empty_mask.metrics.p95_latency_ms, baseline.metrics.p95_latency_ms);
 }
 
 TEST(Scenario, SweepBaselineVersusFailures)

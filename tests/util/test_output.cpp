@@ -30,6 +30,20 @@ TEST(Csv, RowWidthMismatchThrows)
     EXPECT_THROW(csv.row_text({"x", "y", "z"}), contract_violation);
 }
 
+TEST(Csv, EscapesTextCellsPerRfc4180)
+{
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("São Paulo"), "São Paulo");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+
+    std::ostringstream out;
+    csv_writer csv(out, {"name", "v"});
+    csv.row_text({"attack, 2 planes", "1"});
+    EXPECT_EQ(out.str(), "name,v\n\"attack, 2 planes\",1\n");
+}
+
 TEST(Csv, FormatNumberCompact)
 {
     EXPECT_EQ(format_number(1.0), "1");
