@@ -25,6 +25,7 @@
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
 #include "tempo/bulk_router.h"
+#include "traffic/adversary.h"
 #include "traffic/flow_assignment.h"
 #include "traffic/traffic_matrix.h"
 #include "util/angles.h"
@@ -415,6 +416,54 @@ void bm_campaign_separate_baseline(benchmark::State& state)
     }
 }
 BENCHMARK(bm_campaign_separate_baseline)->Unit(benchmark::kMillisecond);
+
+void bm_cascade_timeline(benchmark::State& state)
+{
+    // Per-step Kessler draw over a full day on the 40x40 grid: the cost of
+    // growing a 25-row failure timeline (debris bookkeeping + one split RNG
+    // stream per step) instead of one static mask.
+    const auto& topo = bench_walker_grid();
+    const auto offsets = lsn::sweep_offsets(86400.0, sweep_step_s);
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 4;
+    cascade.cascade_base_daily_hazard = 0.2;
+    cascade.cascade_escalation = 0.1;
+    cascade.seed = 7;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lsn::sample_failure_timeline(topo, cascade, offsets,
+                                         astro::instant::j2000())
+                .final_n_failed());
+    }
+}
+BENCHMARK(bm_cascade_timeline)->Unit(benchmark::kMicrosecond);
+
+void bm_adversary(benchmark::State& state)
+{
+    // Greedy adversary on the campaign fixture's 24x24 grid: each strike
+    // scores every remaining plane against the delivered-traffic oracle on
+    // an 8:1-strided evaluation grid — the oracle dominates, so this tracks
+    // the marginal-damage search, not the RNG.
+    const auto& in = bench_campaign_inputs();
+    const lsn::snapshot_builder builder(in.topo, in.stations,
+                                        astro::instant::j2000(),
+                                        in.grid.min_elevation_rad);
+    const auto offsets = lsn::sweep_offsets(86400.0, 3600.0);
+    const auto positions = builder.positions_at_offsets(offsets);
+    lsn::failure_scenario adversary;
+    adversary.mode = lsn::failure_mode::greedy_adversary;
+    adversary.adversary_budget = 1;
+    adversary.adversary_eval_stride = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            traffic::generate_adversary_timeline(builder, offsets, positions,
+                                                 adversary, bench_demand(),
+                                                 in.traffic_opts)
+                .final_n_failed());
+    }
+}
+BENCHMARK(bm_adversary)->Unit(benchmark::kMillisecond);
 
 void bm_dijkstra(benchmark::State& state)
 {

@@ -25,6 +25,8 @@
 #include "lsn/scenario.h"
 #include "lsn/simulator.h"
 #include "radiation/fluence.h"
+#include "radiation/solar_cycle.h"
+#include "traffic/traffic_sweep.h"
 #include "util/angles.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -135,6 +137,43 @@ int main(int argc, char** argv)
         plan.scenarios.push_back({"radiation 5y", s});
     }
 
+    // --- Time-correlated scenarios: failures that unfold DURING the day
+    // instead of before it. Kessler debris compounds plane by plane, the
+    // solar storm is a mid-day fluence spike, and the greedy adversary
+    // strikes whichever planes carry the most delivered traffic.
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 2;
+    cascade.cascade_base_daily_hazard = args.get_double("cascade-hazard", 0.3);
+    cascade.cascade_escalation = args.get_double("cascade-escalation", 0.05);
+    cascade.cascade_cooldown_s = 6.0 * 3600.0;
+    cascade.seed = seed;
+    plan.scenarios.push_back({"kessler cascade", cascade});
+    {
+        lsn::failure_scenario s;
+        s.mode = lsn::failure_mode::solar_storm;
+        s.plane_daily_fluence = plane_fluence;
+        s.storm_start_s = 6.0 * 3600.0;
+        s.storm_duration_s = 6.0 * 3600.0;
+        // The 2026 epoch sits past the modeled cycle-24 envelope, where the
+        // deterministic activity level is nearly zero — normalize it out so
+        // the template injects a cycle-max-equivalent fluence spike.
+        const double activity = std::max(
+            radiation::solar_activity(epoch.plus_seconds(9.0 * 3600.0)), 1.0e-9);
+        s.storm_fluence_multiplier =
+            1.0 + args.get_double("storm-boost", 4000.0) / activity;
+        s.seed = seed;
+        plan.scenarios.push_back({"solar storm", s});
+    }
+    {
+        lsn::failure_scenario s;
+        s.mode = lsn::failure_mode::greedy_adversary;
+        s.adversary_budget = std::min<int>(2, static_cast<int>(planes.size()));
+        s.adversary_strike_interval_steps = 4;
+        s.adversary_eval_stride = 4; // subsample the oracle's grid 4:1
+        plan.scenarios.push_back({"greedy adversary", s});
+    }
+
     // --- The three workloads as campaign engines. Survivability, delivered
     // throughput against the diurnal gravity matrix, and delay-tolerant bulk
     // delivery (time-expanded store-and-forward vs the per-epoch replication
@@ -162,8 +201,11 @@ int main(int argc, char** argv)
                                            /*per_step_baseline=*/true)};
 
     // One context = one propagation pass + one failure draw per scenario,
-    // shared by all (scenario, engine) cells.
-    const exp::evaluation_context context(topology, stations, epoch, sweep);
+    // shared by all (scenario, engine) cells. The greedy adversary needs a
+    // delivered-traffic oracle to rank its targets — arm it with the same
+    // demand model and capacities the traffic engine judges against.
+    exp::evaluation_context context(topology, stations, epoch, sweep);
+    context.set_adversary_oracle(demand, traffic_opts);
     const auto campaign = exp::run_campaign(plan, context);
     const int n_rows = static_cast<int>(campaign.rows.size());
     // Address engines by name, not by position in plan.engines — the two
@@ -238,9 +280,47 @@ int main(int argc, char** argv)
     }
     bt.print(std::cout);
 
+    // --- Why timelines matter: the same total loss hurts very differently
+    // depending on WHEN it lands. Replay the cascade's final failure set as
+    // a one-shot draw at t=0 and put the two delivered-throughput-vs-time
+    // traces side by side — the cascade keeps delivering while it unfolds.
+    const auto& cascade_timeline = context.timeline(cascade);
+    const auto final_mask =
+        cascade_timeline.step(cascade_timeline.n_steps - 1);
+    const auto one_shot = traffic::run_traffic_sweep_masked(
+        context.builder(), context.offsets(), context.positions(),
+        {final_mask.begin(), final_mask.end()}, demand, traffic_opts);
+    int cascade_row = 0;
+    for (std::size_t r = 0; r < campaign.rows.size(); ++r)
+        if (campaign.rows[r].name == "kessler cascade")
+            cascade_row = static_cast<int>(r);
+    const auto& cascade_traffic =
+        exp::traffic_engine::detail(campaign.cell(cascade_row, traffic_e));
+
+    std::cout << "\ndelivered throughput vs time: cascade ("
+              << cascade_timeline.final_n_failed()
+              << " losses unfolding over the day) vs one-shot draw of the "
+                 "same satellites at t=0:\n";
+    table_printer ct({"t_h", "cascade_failed", "cascade_delivered_frac",
+                      "one_shot_delivered_frac"});
+    const std::size_t n_steps = context.offsets().size();
+    const std::size_t stride = std::max<std::size_t>(1, n_steps / 12);
+    for (std::size_t i = 0; i < n_steps; i += stride) {
+        ct.row({format_number(context.offsets()[i] / 3600.0, 3),
+                std::to_string(cascade_timeline.n_failed_at(static_cast<int>(i))),
+                format_number(cascade_traffic.step_delivered_fraction[i], 4),
+                format_number(one_shot.step_delivered_fraction[i], 4)});
+    }
+    ct.print(std::cout);
+
     // The whole campaign as one machine-readable table: scenario axes ->
     // every engine's named metric columns.
     std::cout << "\ncampaign CSV (scenario axes -> metric columns):\n";
     campaign.write_csv(std::cout);
+
+    // Per-step degradation trajectories for every scenario — the timeline
+    // counterpart of the scalar table above.
+    std::cout << "\nper-step campaign CSV (scenario x step -> trace columns):\n";
+    campaign.write_step_csv(std::cout);
     return 0;
 }

@@ -20,6 +20,9 @@ const char* mode_name(lsn::failure_mode mode)
     case lsn::failure_mode::random_loss: return "random_loss";
     case lsn::failure_mode::plane_attack: return "plane_attack";
     case lsn::failure_mode::radiation_poisson: return "radiation_poisson";
+    case lsn::failure_mode::kessler_cascade: return "kessler_cascade";
+    case lsn::failure_mode::solar_storm: return "solar_storm";
+    case lsn::failure_mode::greedy_adversary: return "greedy_adversary";
     }
     return "unknown";
 }
@@ -92,6 +95,41 @@ void campaign_result::write_csv(std::ostream& out) const
     }
 }
 
+void campaign_result::write_step_csv(std::ostream& out) const
+{
+    std::vector<std::string> header{"scenario", "step", "offset_s"};
+    header.insert(header.end(), step_columns.begin(), step_columns.end());
+    csv_writer csv(out, std::move(header));
+
+    const std::size_t n_steps = step_offsets_s.size();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        // Gather every engine's traces for this row once; engines without
+        // step columns contribute an empty set.
+        std::vector<std::vector<double>> traces;
+        for (int e = 0; e < n_engines; ++e) {
+            auto engine_traces =
+                engines[static_cast<std::size_t>(e)]->step_traces(
+                    cell(static_cast<int>(r), e));
+            ensures(engine_traces.size() ==
+                        engines[static_cast<std::size_t>(e)]->step_columns().size(),
+                    "engine returned a different number of step traces than its "
+                    "step columns");
+            for (auto& trace : engine_traces) {
+                ensures(trace.size() == n_steps,
+                        "engine step trace does not cover every sweep step");
+                traces.push_back(std::move(trace));
+            }
+        }
+        for (std::size_t i = 0; i < n_steps; ++i) {
+            std::vector<std::string> cells_text{rows[r].name, std::to_string(i),
+                                                format_number(step_offsets_s[i])};
+            for (const auto& trace : traces)
+                cells_text.push_back(format_number(trace[i]));
+            csv.row_text(cells_text);
+        }
+    }
+}
+
 campaign_result run_campaign(const experiment_plan& plan,
                              const evaluation_context& context)
 {
@@ -104,10 +142,14 @@ campaign_result run_campaign(const experiment_plan& plan,
 
     campaign_result result;
     result.n_engines = static_cast<int>(plan.engines.size());
+    result.engines = plan.engines;
+    result.step_offsets_s.assign(context.offsets().begin(), context.offsets().end());
     for (const auto& engine : plan.engines) {
         result.engine_names.push_back(engine->name());
         for (const auto& column : engine->columns())
             result.columns.push_back(engine->name() + "." + column);
+        for (const auto& column : engine->step_columns())
+            result.step_columns.push_back(engine->name() + "." + column);
     }
     // Colliding flattened names (two engines sharing a name) would make
     // `value()` silently return the first engine's number and the CSV emit
@@ -137,21 +179,21 @@ campaign_result run_campaign(const experiment_plan& plan,
             "campaign scenarios expand to duplicate names; give each template "
             "a distinct name");
 
-    // Prefetch every failure mask serially: scenarios sharing (mode, knobs,
-    // seed) dedupe onto one draw in the context cache, and the parallel
-    // section below only reads.
-    std::vector<const std::vector<std::uint8_t>*> masks;
-    masks.reserve(expanded.size());
+    // Prefetch every failure timeline serially: scenarios sharing (mode,
+    // knobs, seed) dedupe onto one generation in the context cache (static
+    // modes additionally populate the mask cache exactly as before), and
+    // the parallel section below only reads. Adversary generation — full
+    // traffic sweeps per candidate strike — also happens here, serially.
+    std::vector<const lsn::failure_timeline*> timelines;
+    timelines.reserve(expanded.size());
     result.rows.reserve(expanded.size());
     for (const auto& spec : expanded) {
-        const auto& mask = context.failure_mask(spec.scenario);
-        masks.push_back(&mask);
-        result.rows.push_back(
-            {spec.name, spec.scenario,
-             static_cast<int>(std::count(mask.begin(), mask.end(), 1))});
+        const auto& timeline = context.timeline(spec.scenario);
+        timelines.push_back(&timeline);
+        result.rows.push_back({spec.name, spec.scenario, timeline.final_n_failed()});
     }
 
-    // Cells sharing (mask, engine) are bit-identical by each engine's
+    // Cells sharing (timeline, engine) are bit-identical by each engine's
     // determinism contract, so only one representative per distinct pair is
     // evaluated; duplicates copy its output (sharing the detail payload).
     // The dedup assignment is serial, so it never depends on thread count.
@@ -163,7 +205,8 @@ campaign_result run_campaign(const experiment_plan& plan,
     for (std::size_t i = 0; i < n_cells; ++i) {
         const std::size_t row = i / static_cast<std::size_t>(result.n_engines);
         const std::size_t e = i % static_cast<std::size_t>(result.n_engines);
-        const auto [it, inserted] = representative.try_emplace({masks[row], e}, i);
+        const auto [it, inserted] =
+            representative.try_emplace({timelines[row], e}, i);
         computed_as[i] = it->second;
         if (inserted) unique_cells.push_back(i);
     }
@@ -180,7 +223,7 @@ campaign_result run_campaign(const experiment_plan& plan,
                 const std::size_t i = unique_cells[u];
                 const std::size_t row = i / static_cast<std::size_t>(result.n_engines);
                 const std::size_t e = i % static_cast<std::size_t>(result.n_engines);
-                result.cells[i] = plan.engines[e]->evaluate(context, *masks[row]);
+                result.cells[i] = plan.engines[e]->evaluate(context, *timelines[row]);
             }
         },
         /*chunk_size=*/1);

@@ -50,7 +50,7 @@ std::vector<scenario_spec> expand_scenarios(const experiment_plan& plan);
 struct campaign_row {
     std::string name;
     lsn::failure_scenario scenario; ///< Seed applied.
-    int n_failed = 0;               ///< Satellites the drawn mask removes.
+    int n_failed = 0; ///< Satellites the scenario's final mask removes.
 };
 
 /// Uniform campaign output: scenario axes x named metric columns, plus the
@@ -61,8 +61,17 @@ struct campaign_result {
     /// Flattened "<engine>.<column>" names over all engines, in engine
     /// order — the metric columns of `write_csv`.
     std::vector<std::string> columns;
+    /// Flattened "<engine>.<column>" names over every engine's
+    /// `step_columns()`, in engine order — the trace columns of
+    /// `write_step_csv`. Empty when no engine reports per-step traces.
+    std::vector<std::string> step_columns;
     int n_engines = 0;
     std::vector<engine_output> cells; ///< rows.size() x n_engines, row-major.
+    /// The plan's engines, kept so per-step traces can be extracted from
+    /// cells after the run (`write_step_csv`).
+    std::vector<std::shared_ptr<const metric_engine>> engines;
+    /// The context's sweep time grid, echoed into the step CSV.
+    std::vector<double> step_offsets_s;
 
     /// Index of the engine with this name — the robust way to address
     /// cells (engine order in the plan is not part of the API contract).
@@ -87,6 +96,13 @@ struct campaign_result {
     /// CSV table via `util/csv`: scenario axes (name, mode, knobs, seed,
     /// n_failed) followed by every flattened metric column.
     void write_csv(std::ostream& out) const;
+
+    /// Per-step degradation-trajectory table: one line per (scenario,
+    /// sweep step) with header `scenario,step,offset_s` followed by every
+    /// `step_columns` trace column. Engines without per-step traces
+    /// contribute no columns. A no-op (header only) when no engine reports
+    /// traces.
+    void write_step_csv(std::ostream& out) const;
 };
 
 /// Evaluate every (scenario, engine) cell of the plan against the shared

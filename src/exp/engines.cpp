@@ -1,5 +1,7 @@
 #include "exp/metric_engine.h"
 
+#include <algorithm>
+
 namespace ssplane::exp {
 
 namespace {
@@ -36,21 +38,45 @@ const std::string& survivability_engine::name() const noexcept
 const std::vector<std::string>& survivability_engine::columns() const noexcept
 {
     static const std::vector<std::string> cols{
-        "n_failed", "giant_component_fraction", "pair_reachable_fraction",
-        "mean_latency_ms", "p95_latency_ms"};
+        "n_failed",        "giant_component_fraction",
+        "pair_reachable_fraction", "mean_latency_ms",
+        "p95_latency_ms",  "time_to_partition_s",
+        "recovery_headroom"};
     return cols;
 }
 
 engine_output survivability_engine::evaluate(
-    const evaluation_context& context, const std::vector<std::uint8_t>& failed) const
+    const evaluation_context& context, const lsn::failure_timeline& timeline) const
 {
-    auto result = lsn::run_scenario_sweep_masked(context.builder(), context.offsets(),
-                                                 context.positions(), failed);
+    auto result = lsn::run_scenario_sweep_timeline(
+        context.builder(), context.offsets(), context.positions(), timeline);
     const auto& m = result.metrics;
+    // Degradation-trajectory reductions: "partitioned" = the giant
+    // component holding less than half the constellation.
+    const double time_to_partition =
+        lsn::first_time_below(result.step_giant_fraction, context.offsets(), 0.5);
+    const double headroom = lsn::recovery_headroom(result.step_giant_fraction);
     return make_output({static_cast<double>(m.n_failed), m.giant_component_fraction,
                         m.pair_reachable_fraction, m.mean_latency_ms,
-                        m.p95_latency_ms},
+                        m.p95_latency_ms, time_to_partition, headroom},
                        std::move(result));
+}
+
+const std::vector<std::string>& survivability_engine::step_columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "n_failed", "giant_component_fraction", "pair_reachable_fraction"};
+    return cols;
+}
+
+std::vector<std::vector<double>> survivability_engine::step_traces(
+    const engine_output& output) const
+{
+    const auto& result = detail(output);
+    std::vector<double> n_failed(result.step_n_failed.begin(),
+                                 result.step_n_failed.end());
+    return {std::move(n_failed), result.step_giant_fraction,
+            result.step_pair_reachable_fraction};
 }
 
 const lsn::scenario_sweep_result& survivability_engine::detail(
@@ -78,24 +104,44 @@ const std::vector<std::string>& traffic_engine::columns() const noexcept
     static const std::vector<std::string> cols{
         "offered_gbps_mean",    "delivered_gbps_mean",
         "delivered_fraction",   "mean_path_latency_ms",
-        "p95_link_utilization", "congested_link_fraction"};
+        "p95_link_utilization", "congested_link_fraction",
+        "min_step_delivered_fraction", "recovery_headroom"};
     return cols;
 }
 
 void traffic_engine::validate_options() const { traffic::validate(options_.capacity); }
 
 engine_output traffic_engine::evaluate(const evaluation_context& context,
-                                       const std::vector<std::uint8_t>& failed) const
+                                       const lsn::failure_timeline& timeline) const
 {
-    auto result =
-        traffic::run_traffic_sweep_masked(context.builder(), context.offsets(),
-                                          context.positions(), failed, *demand_,
-                                          options_);
+    auto result = traffic::run_traffic_sweep_timeline(
+        context.builder(), context.offsets(), context.positions(), timeline,
+        *demand_, options_);
     const auto& m = result.metrics;
+    double min_delivered = 1.0;
+    for (const double f : result.step_delivered_fraction)
+        min_delivered = std::min(min_delivered, f);
+    const double headroom = lsn::recovery_headroom(result.step_delivered_fraction);
     return make_output({m.offered_gbps_mean, m.delivered_gbps_mean,
                         m.delivered_fraction, m.mean_path_latency_ms,
-                        m.p95_link_utilization, m.congested_link_fraction},
+                        m.p95_link_utilization, m.congested_link_fraction,
+                        min_delivered, headroom},
                        std::move(result));
+}
+
+const std::vector<std::string>& traffic_engine::step_columns() const noexcept
+{
+    static const std::vector<std::string> cols{"offered_gbps", "delivered_fraction",
+                                               "p95_utilization"};
+    return cols;
+}
+
+std::vector<std::vector<double>> traffic_engine::step_traces(
+    const engine_output& output) const
+{
+    const auto& result = detail(output);
+    return {result.step_offered_gbps, result.step_delivered_fraction,
+            result.step_p95_utilization};
 }
 
 const traffic::traffic_sweep_result& traffic_engine::detail(const engine_output& output)
@@ -126,16 +172,16 @@ const std::vector<std::string>& bulk_engine::columns() const noexcept
 void bulk_engine::validate_options() const { tempo::validate(options_); }
 
 engine_output bulk_engine::evaluate(const evaluation_context& context,
-                                    const std::vector<std::uint8_t>& failed) const
+                                    const lsn::failure_timeline& timeline) const
 {
     auto result =
         per_step_baseline_
-            ? tempo::run_bulk_sweep_per_step_baseline_masked(
-                  context.builder(), context.offsets(), context.positions(), failed,
-                  requests_, options_)
-            : tempo::run_bulk_sweep_masked(context.builder(), context.offsets(),
-                                           context.positions(), failed, requests_,
-                                           options_);
+            ? tempo::run_bulk_sweep_per_step_baseline_timeline(
+                  context.builder(), context.offsets(), context.positions(),
+                  timeline, requests_, options_)
+            : tempo::run_bulk_sweep_timeline(context.builder(), context.offsets(),
+                                             context.positions(), timeline,
+                                             requests_, options_);
     const auto& r = result.routing;
     return make_output({r.offered_gb, r.delivered_gb, r.delivered_fraction,
                         r.max_buffer_gb},

@@ -1,5 +1,8 @@
 #include "exp/evaluation_context.h"
 
+#include "traffic/adversary.h"
+#include "util/expects.h"
+
 namespace ssplane::exp {
 
 evaluation_context::evaluation_context(const lsn::lsn_topology& topology,
@@ -41,6 +44,30 @@ evaluation_context::mask_key evaluation_context::key_of(
         key.knobs.push_back(scenario.failure_options.reference_electron_fluence);
         key.knobs.push_back(scenario.failure_options.fluence_exponent);
         break;
+    case lsn::failure_mode::kessler_cascade:
+        key.seed = scenario.seed;
+        key.knobs = {static_cast<double>(scenario.cascade_initial_hits),
+                     scenario.cascade_base_daily_hazard, scenario.cascade_escalation,
+                     scenario.cascade_cooldown_s};
+        break;
+    case lsn::failure_mode::solar_storm:
+        key.seed = scenario.seed;
+        key.knobs = scenario.plane_daily_fluence;
+        key.knobs.push_back(scenario.storm_start_s);
+        key.knobs.push_back(scenario.storm_duration_s);
+        key.knobs.push_back(scenario.storm_fluence_multiplier);
+        key.knobs.push_back(scenario.failure_options.base_annual_failure_rate);
+        key.knobs.push_back(scenario.failure_options.reference_electron_fluence);
+        key.knobs.push_back(scenario.failure_options.fluence_exponent);
+        break;
+    case lsn::failure_mode::greedy_adversary:
+        // Deterministic — no seed. The oracle (demand + traffic knobs) is
+        // per-context state, so it never has to participate in the key.
+        key.knobs = {static_cast<double>(scenario.adversary_budget),
+                     static_cast<double>(scenario.adversary_strike_interval_steps),
+                     static_cast<double>(scenario.adversary_first_strike_step),
+                     static_cast<double>(scenario.adversary_eval_stride)};
+        break;
     }
     return key;
 }
@@ -69,6 +96,66 @@ std::size_t evaluation_context::mask_cache_size() const
 {
     const std::lock_guard lock(mask_mutex_);
     return masks_.size();
+}
+
+void evaluation_context::set_adversary_oracle(const demand::demand_model& demand,
+                                              traffic::traffic_sweep_options options)
+{
+    expects(!adversary_oracle_used_,
+            "adversary oracle cannot be re-armed after a greedy_adversary "
+            "timeline has been generated; it would disagree with the cache");
+    adversary_demand_ = &demand;
+    adversary_options_ = std::move(options);
+}
+
+const lsn::failure_timeline& evaluation_context::timeline(
+    const lsn::failure_scenario& scenario) const
+{
+    if (!lsn::is_timeline_mode(scenario.mode)) {
+        // Static modes ride the mask cache (same draw, same dedup), then
+        // wrap the mask as the degenerate single-row timeline — the sweep
+        // internals reproduce the static path byte-for-byte from it.
+        const auto& mask = failure_mask(scenario);
+        auto key = key_of(scenario);
+        const std::lock_guard lock(mask_mutex_);
+        const auto it = timelines_.find(key);
+        if (it != timelines_.end()) return it->second;
+        return timelines_
+            .emplace(std::move(key), lsn::failure_timeline::from_static_mask(mask))
+            .first->second;
+    }
+
+    lsn::validate(scenario, topology());
+    auto key = key_of(scenario);
+    {
+        const std::lock_guard lock(mask_mutex_);
+        const auto it = timelines_.find(key);
+        if (it != timelines_.end()) return it->second;
+    }
+    // Generate outside the lock (the adversary oracle in particular runs
+    // full traffic sweeps); generation is deterministic, so a racing
+    // duplicate produces the identical timeline and the first insert wins.
+    lsn::failure_timeline generated;
+    if (scenario.mode == lsn::failure_mode::greedy_adversary) {
+        expects(adversary_demand_ != nullptr,
+                "greedy_adversary scenarios need set_adversary_oracle(demand, "
+                "options) on the evaluation context before the first lookup");
+        adversary_oracle_used_ = true;
+        generated = traffic::generate_adversary_timeline(
+            builder_, offsets_, positions_, scenario, *adversary_demand_,
+            adversary_options_);
+    } else {
+        generated = lsn::sample_failure_timeline(topology(), scenario, offsets_,
+                                                 epoch());
+    }
+    const std::lock_guard lock(mask_mutex_);
+    return timelines_.emplace(std::move(key), std::move(generated)).first->second;
+}
+
+std::size_t evaluation_context::timeline_cache_size() const
+{
+    const std::lock_guard lock(mask_mutex_);
+    return timelines_.size();
 }
 
 } // namespace ssplane::exp

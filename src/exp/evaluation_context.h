@@ -13,7 +13,11 @@
 //     batched propagation pass over it,
 //   * a per-scenario failure-mask cache, keyed on the knobs that actually
 //     feed the draw — scenarios sharing (mode, knobs, seed) reuse one
-//     `sample_failures` result bit-identically.
+//     `sample_failures` result bit-identically,
+//   * a per-scenario failure-*timeline* cache on top of it: static modes
+//     wrap their cached mask as a single-row timeline, the time-correlated
+//     modes (Kessler cascade, solar storm, greedy adversary) generate a
+//     full per-step mask sequence over the context's time grid.
 //
 // Every metric engine of a campaign then evaluates against this one
 // context, so a cross-metric study pays the shared work once instead of
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "lsn/scenario.h"
+#include "traffic/traffic_sweep.h"
 
 namespace ssplane::exp {
 
@@ -66,6 +71,30 @@ public:
     /// Distinct masks drawn so far (observability for dedup tests).
     std::size_t mask_cache_size() const;
 
+    /// The scenario's failure timeline, generated on first use and cached.
+    /// Static modes (`none`, `random_loss`, `plane_attack`,
+    /// `radiation_poisson`) populate the mask cache through
+    /// `failure_mask` and wrap the mask as a single-row timeline, so the
+    /// static paths stay byte-identical and dedupe exactly as before.
+    /// Timeline modes generate the per-step sequence over this context's
+    /// time grid; `greedy_adversary` additionally requires an oracle set
+    /// via `set_adversary_oracle` (a `contract_violation` otherwise).
+    /// Thread-safe; the generators are deterministic, so concurrent first
+    /// calls agree.
+    const lsn::failure_timeline& timeline(const lsn::failure_scenario& scenario) const;
+
+    /// Distinct timelines generated so far (observability for dedup tests).
+    std::size_t timeline_cache_size() const;
+
+    /// Arm the greedy adversary: the demand model and traffic knobs its
+    /// delivered-traffic oracle scores strikes against. The demand model
+    /// must outlive the context. Call before the first `greedy_adversary`
+    /// timeline lookup (changing the oracle after a lookup would silently
+    /// disagree with the cached timeline, so re-arming is rejected once a
+    /// timeline has been generated with the previous oracle).
+    void set_adversary_oracle(const demand::demand_model& demand,
+                              traffic::traffic_sweep_options options = {});
+
 private:
     /// Canonical dedup key: only the fields `sample_failures` actually reads
     /// for the scenario's mode participate, so e.g. two `random_loss`
@@ -88,8 +117,12 @@ private:
     lsn::snapshot_builder builder_;
     std::vector<double> offsets_;
     std::vector<std::vector<vec3>> positions_;
+    const demand::demand_model* adversary_demand_ = nullptr;
+    traffic::traffic_sweep_options adversary_options_;
+    mutable bool adversary_oracle_used_ = false;
     mutable std::mutex mask_mutex_;
     mutable std::map<mask_key, std::vector<std::uint8_t>> masks_;
+    mutable std::map<mask_key, lsn::failure_timeline> timelines_;
 };
 
 } // namespace ssplane::exp

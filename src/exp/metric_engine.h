@@ -55,28 +55,53 @@ public:
     /// the campaign fans out, so errors surface serially and early.
     virtual void validate_options() const {}
 
-    /// Judge one scenario (its pre-drawn failure mask) against the shared
-    /// context. Must be bit-identical for any `SSPLANE_THREADS` value.
+    /// Judge one scenario (its pre-generated failure timeline) against the
+    /// shared context. Static scenarios arrive as single-row timelines and
+    /// must reproduce the legacy mask path bit-for-bit. Must be
+    /// bit-identical for any `SSPLANE_THREADS` value.
     virtual engine_output evaluate(const evaluation_context& context,
-                                   const std::vector<std::uint8_t>& failed) const = 0;
+                                   const lsn::failure_timeline& timeline) const = 0;
+
+    /// Names of the per-step degradation traces this engine can extract
+    /// from a cell, in order — empty (the default) when the engine has no
+    /// per-step view. Feeds `campaign_result::write_step_csv`.
+    virtual const std::vector<std::string>& step_columns() const noexcept
+    {
+        static const std::vector<std::string> none;
+        return none;
+    }
+
+    /// The per-step traces behind one of this engine's cells, one vector
+    /// per `step_columns()` entry, each with one value per sweep step.
+    virtual std::vector<std::vector<double>> step_traces(
+        const engine_output& /*output*/) const
+    {
+        return {};
+    }
 };
 
 /// Survivability: giant component, all-pairs reachability and latency
-/// (adapts `lsn::run_scenario_sweep_masked`).
+/// (adapts `lsn::run_scenario_sweep_timeline`), plus the degradation-
+/// trajectory scalars `time_to_partition_s` (first time the giant
+/// component drops below half, -1 = never) and `recovery_headroom`.
 class survivability_engine final : public metric_engine {
 public:
     const std::string& name() const noexcept override;
     const std::vector<std::string>& columns() const noexcept override;
     engine_output evaluate(const evaluation_context& context,
-                           const std::vector<std::uint8_t>& failed) const override;
+                           const lsn::failure_timeline& timeline) const override;
+    const std::vector<std::string>& step_columns() const noexcept override;
+    std::vector<std::vector<double>> step_traces(
+        const engine_output& output) const override;
 
     /// The full sweep result behind a cell this engine produced.
     static const lsn::scenario_sweep_result& detail(const engine_output& output);
 };
 
 /// Delivered capacity against the diurnal gravity demand matrix (adapts
-/// `traffic::run_traffic_sweep_masked`). The demand model must outlive the
-/// engine.
+/// `traffic::run_traffic_sweep_timeline`), plus the degradation-trajectory
+/// scalars `min_step_delivered_fraction` and `recovery_headroom`. The
+/// demand model must outlive the engine.
 class traffic_engine final : public metric_engine {
 public:
     explicit traffic_engine(const demand::demand_model& demand,
@@ -86,7 +111,10 @@ public:
     const std::vector<std::string>& columns() const noexcept override;
     void validate_options() const override;
     engine_output evaluate(const evaluation_context& context,
-                           const std::vector<std::uint8_t>& failed) const override;
+                           const lsn::failure_timeline& timeline) const override;
+    const std::vector<std::string>& step_columns() const noexcept override;
+    std::vector<std::vector<double>> step_traces(
+        const engine_output& output) const override;
 
     static const traffic::traffic_sweep_result& detail(const engine_output& output);
 
@@ -96,9 +124,10 @@ private:
 };
 
 /// Delay-tolerant bulk delivery over the time-expanded graph (adapts
-/// `tempo::run_bulk_sweep_masked`); with `per_step_baseline` the per-epoch
-/// replication floor (`run_bulk_sweep_per_step_baseline_masked`) instead,
-/// so a plan can carry both and report the store-and-forward gain.
+/// `tempo::run_bulk_sweep_timeline`); with `per_step_baseline` the
+/// per-epoch replication floor
+/// (`run_bulk_sweep_per_step_baseline_timeline`) instead, so a plan can
+/// carry both and report the store-and-forward gain.
 class bulk_engine final : public metric_engine {
 public:
     explicit bulk_engine(std::vector<tempo::bulk_transfer_request> requests,
@@ -109,7 +138,7 @@ public:
     const std::vector<std::string>& columns() const noexcept override;
     void validate_options() const override;
     engine_output evaluate(const evaluation_context& context,
-                           const std::vector<std::uint8_t>& failed) const override;
+                           const lsn::failure_timeline& timeline) const override;
 
     static const tempo::bulk_sweep_result& detail(const engine_output& output);
 

@@ -7,6 +7,7 @@
 
 #include "astro/constants.h"
 #include "lsn/routing.h"
+#include "radiation/solar_cycle.h"
 #include "util/expects.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -17,6 +18,12 @@ namespace ssplane::lsn {
 namespace {
 
 constexpr double inf = std::numeric_limits<double>::infinity();
+
+// Sub-stream purposes of `rng::split(seed, purpose, step)`. Disjoint from
+// the raw `rng(seed)` stream the one-shot `sample_failures` draws consume,
+// so timeline evolution can never perturb a legacy mask on the same seed.
+constexpr std::uint64_t purpose_cascade = 1;
+constexpr std::uint64_t purpose_storm = 2;
 
 /// Mark `k` distinct indices out of `n` via a partial Fisher-Yates shuffle.
 std::vector<int> draw_distinct(int n, int k, rng& r)
@@ -61,7 +68,7 @@ snapshot_builder::snapshot_builder(const lsn_topology& topology,
 }
 
 network_snapshot snapshot_builder::snapshot(
-    double offset_s, const std::vector<std::uint8_t>& failed) const
+    double offset_s, std::span<const std::uint8_t> failed) const
 {
     std::vector<vec3> sat_positions(propagators_.size());
     const double gmst = astro::gmst_rad(epoch_.plus_seconds(offset_s));
@@ -97,7 +104,7 @@ std::vector<std::vector<vec3>> snapshot_builder::positions_at_offsets(
 
 network_snapshot snapshot_builder::snapshot_from_positions(
     const std::vector<vec3>& sat_positions_ecef,
-    const std::vector<std::uint8_t>& failed) const
+    std::span<const std::uint8_t> failed) const
 {
     expects(sat_positions_ecef.size() == propagators_.size(),
             "positions/satellite count mismatch");
@@ -143,6 +150,35 @@ network_snapshot snapshot_builder::snapshot_from_positions(
     return snap;
 }
 
+bool is_timeline_mode(failure_mode mode) noexcept
+{
+    return mode == failure_mode::kessler_cascade ||
+           mode == failure_mode::solar_storm ||
+           mode == failure_mode::greedy_adversary;
+}
+
+namespace {
+
+/// The rate-map fields feed annual_failure_rate (and the campaign's
+/// mask-cache key), so they must be sane numbers — shared by the
+/// radiation_poisson and solar_storm validation arms.
+void validate_rate_map(const failure_scenario& scenario)
+{
+    for (const double fluence : scenario.plane_daily_fluence)
+        expects(std::isfinite(fluence) && fluence >= 0.0,
+                "plane fluence must be finite and non-negative");
+    expects(std::isfinite(scenario.failure_options.base_annual_failure_rate) &&
+                scenario.failure_options.base_annual_failure_rate >= 0.0,
+            "base annual failure rate must be finite and non-negative");
+    expects(std::isfinite(scenario.failure_options.reference_electron_fluence) &&
+                scenario.failure_options.reference_electron_fluence > 0.0,
+            "reference fluence must be finite and positive");
+    expects(std::isfinite(scenario.failure_options.fluence_exponent),
+            "fluence exponent must be finite");
+}
+
+} // namespace
+
 void validate(const failure_scenario& scenario)
 {
     switch (scenario.mode) {
@@ -163,19 +199,45 @@ void validate(const failure_scenario& scenario)
     case failure_mode::radiation_poisson:
         expects(std::isfinite(scenario.horizon_days) && scenario.horizon_days > 0.0,
                 "horizon_days must be finite and positive");
-        for (const double fluence : scenario.plane_daily_fluence)
-            expects(std::isfinite(fluence) && fluence >= 0.0,
-                    "plane fluence must be finite and non-negative");
-        // The rate-map fields feed annual_failure_rate (and the campaign's
-        // mask-cache key), so they must be sane numbers too.
-        expects(std::isfinite(scenario.failure_options.base_annual_failure_rate) &&
-                    scenario.failure_options.base_annual_failure_rate >= 0.0,
-                "base annual failure rate must be finite and non-negative");
-        expects(std::isfinite(scenario.failure_options.reference_electron_fluence) &&
-                    scenario.failure_options.reference_electron_fluence > 0.0,
-                "reference fluence must be finite and positive");
-        expects(std::isfinite(scenario.failure_options.fluence_exponent),
-                "fluence exponent must be finite");
+        validate_rate_map(scenario);
+        break;
+
+    case failure_mode::kessler_cascade:
+        expects(scenario.cascade_initial_hits >= 0,
+                "cascade_initial_hits must be non-negative");
+        expects(std::isfinite(scenario.cascade_base_daily_hazard) &&
+                    scenario.cascade_base_daily_hazard >= 0.0,
+                "cascade base daily hazard must be finite and non-negative");
+        expects(std::isfinite(scenario.cascade_escalation) &&
+                    scenario.cascade_escalation >= 0.0,
+                "cascade escalation factor must be finite and non-negative");
+        expects(std::isfinite(scenario.cascade_cooldown_s) &&
+                    scenario.cascade_cooldown_s > 0.0,
+                "cascade cooldown must be finite and positive");
+        break;
+
+    case failure_mode::solar_storm:
+        expects(std::isfinite(scenario.storm_start_s) &&
+                    scenario.storm_start_s >= 0.0,
+                "storm start must be finite and non-negative");
+        expects(std::isfinite(scenario.storm_duration_s) &&
+                    scenario.storm_duration_s > 0.0,
+                "storm duration must be finite and positive");
+        expects(std::isfinite(scenario.storm_fluence_multiplier) &&
+                    scenario.storm_fluence_multiplier >= 1.0,
+                "storm fluence multiplier must be finite and >= 1");
+        validate_rate_map(scenario);
+        break;
+
+    case failure_mode::greedy_adversary:
+        expects(scenario.adversary_budget >= 0,
+                "adversary budget must be non-negative");
+        expects(scenario.adversary_strike_interval_steps >= 1,
+                "adversary strike interval must be at least one step");
+        expects(scenario.adversary_first_strike_step >= 0,
+                "adversary first strike step must be non-negative");
+        expects(scenario.adversary_eval_stride >= 1,
+                "adversary eval stride must be at least 1");
         break;
     }
 }
@@ -186,10 +248,18 @@ void validate(const failure_scenario& scenario, const lsn_topology& topology)
     if (scenario.mode == failure_mode::plane_attack)
         expects(scenario.planes_attacked <= plane_count(topology),
                 "planes_attacked must not exceed the plane count");
-    if (scenario.mode == failure_mode::radiation_poisson)
+    if (scenario.mode == failure_mode::radiation_poisson ||
+        scenario.mode == failure_mode::solar_storm)
         expects(scenario.plane_daily_fluence.size() ==
                     static_cast<std::size_t>(plane_count(topology)),
                 "plane_daily_fluence must have exactly one entry per plane");
+    if (scenario.mode == failure_mode::kessler_cascade)
+        expects(scenario.cascade_initial_hits <=
+                    static_cast<int>(topology.satellites.size()),
+                "cascade_initial_hits must not exceed the satellite count");
+    if (scenario.mode == failure_mode::greedy_adversary)
+        expects(scenario.adversary_budget <= plane_count(topology),
+                "adversary budget must not exceed the plane count");
 }
 
 int plane_count(const lsn_topology& topology)
@@ -204,6 +274,10 @@ std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
                                           const failure_scenario& scenario)
 {
     validate(scenario, topology);
+    expects(!is_timeline_mode(scenario.mode),
+            "timeline failure modes have no single static mask; use "
+            "sample_failure_timeline (or, for greedy_adversary, "
+            "traffic::generate_adversary_timeline)");
     const int n = static_cast<int>(topology.satellites.size());
     std::vector<std::uint8_t> failed(static_cast<std::size_t>(n), 0);
     rng r(scenario.seed);
@@ -245,12 +319,203 @@ std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
         }
         break;
     }
+
+    case failure_mode::kessler_cascade:
+    case failure_mode::solar_storm:
+    case failure_mode::greedy_adversary:
+        break; // unreachable: rejected by the timeline-mode guard above
     }
     return failed;
 }
 
+namespace {
+
+/// Debris bookkeeping of the Kessler cascade: one loss deposits a full
+/// unit in its own plane and half a unit in each (wrapping) adjacent
+/// plane. Degenerate plane counts collapse naturally: a single plane gets
+/// only its own unit, two planes share one 0.5 deposit (up == down).
+void deposit_debris(std::vector<double>& debris, int plane)
+{
+    const int n_planes = static_cast<int>(debris.size());
+    debris[static_cast<std::size_t>(plane)] += 1.0;
+    if (n_planes <= 1) return;
+    const int up = (plane + 1) % n_planes;
+    const int down = (plane + n_planes - 1) % n_planes;
+    debris[static_cast<std::size_t>(up)] += 0.5;
+    if (down != up) debris[static_cast<std::size_t>(down)] += 0.5;
+}
+
+failure_timeline sample_cascade_timeline(const lsn_topology& topology,
+                                         const failure_scenario& scenario,
+                                         std::span<const double> offsets_s)
+{
+    const int n = static_cast<int>(topology.satellites.size());
+    const int n_steps = static_cast<int>(offsets_s.size());
+    const int n_planes = plane_count(topology);
+
+    failure_timeline timeline;
+    timeline.n_satellites = n;
+    timeline.n_steps = n_steps;
+    timeline.masks.assign(
+        static_cast<std::size_t>(n_steps) * static_cast<std::size_t>(n), 0);
+    if (n_steps == 0 || n == 0) return timeline;
+
+    const auto row = [&](int i) {
+        return timeline.masks.data() +
+               static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    };
+    const auto plane_of = [&](int s) {
+        return topology.satellites[static_cast<std::size_t>(s)].plane;
+    };
+
+    std::vector<double> debris(static_cast<std::size_t>(n_planes), 0.0);
+
+    // Step 0: the triggering event. Distinct hits via the same partial
+    // Fisher-Yates the one-shot modes use, on the cascade's own sub-stream.
+    {
+        rng r = rng::split(scenario.seed, purpose_cascade, 0);
+        for (const int s : draw_distinct(n, scenario.cascade_initial_hits, r)) {
+            row(0)[s] = 1;
+            deposit_debris(debris, plane_of(s));
+        }
+    }
+
+    std::vector<double> p_fail(static_cast<std::size_t>(n_planes), 0.0);
+    std::vector<int> new_failures;
+    for (int i = 1; i < n_steps; ++i) {
+        std::copy_n(row(i - 1), n, row(i));
+        const double dt_s = offsets_s[static_cast<std::size_t>(i)] -
+                            offsets_s[static_cast<std::size_t>(i - 1)];
+        expects(dt_s > 0.0, "sweep offsets must be strictly increasing");
+
+        // Deposited debris decays (deorbit / avoidance), then sets this
+        // step's per-plane hazard on top of the ambient rate.
+        const double decay = std::exp(-dt_s / scenario.cascade_cooldown_s);
+        for (double& d : debris) d *= decay;
+        const double dt_days = dt_s / 86400.0;
+        for (int p = 0; p < n_planes; ++p) {
+            const double hazard_daily =
+                scenario.cascade_base_daily_hazard +
+                scenario.cascade_escalation * debris[static_cast<std::size_t>(p)];
+            p_fail[static_cast<std::size_t>(p)] =
+                1.0 - std::exp(-hazard_daily * dt_days);
+        }
+
+        // One sub-stream per step: adding or dropping steps never shifts
+        // another step's draws, and failed satellites draw nothing.
+        rng r = rng::split(scenario.seed, purpose_cascade,
+                           static_cast<std::uint64_t>(i));
+        new_failures.clear();
+        for (int s = 0; s < n; ++s) {
+            if (row(i)[s]) continue;
+            if (r.bernoulli(p_fail[static_cast<std::size_t>(plane_of(s))])) {
+                row(i)[s] = 1;
+                new_failures.push_back(s);
+            }
+        }
+        // This step's losses feed next step's hazard, not their own — the
+        // collision debris takes one step to disperse into the shells.
+        for (const int s : new_failures) deposit_debris(debris, plane_of(s));
+    }
+    return timeline;
+}
+
+failure_timeline sample_storm_timeline(const lsn_topology& topology,
+                                       const failure_scenario& scenario,
+                                       std::span<const double> offsets_s,
+                                       const astro::instant& epoch)
+{
+    const int n = static_cast<int>(topology.satellites.size());
+    const int n_steps = static_cast<int>(offsets_s.size());
+    const int n_planes = plane_count(topology);
+
+    failure_timeline timeline;
+    timeline.n_satellites = n;
+    timeline.n_steps = n_steps;
+    timeline.masks.assign(
+        static_cast<std::size_t>(n_steps) * static_cast<std::size_t>(n), 0);
+    if (n_steps == 0 || n == 0) return timeline;
+    expects(scenario.storm_start_s <= offsets_s.back(),
+            "storm window must start inside the sweep horizon");
+
+    const auto row = [&](int i) {
+        return timeline.masks.data() +
+               static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    };
+
+    std::vector<double> p_fail(static_cast<std::size_t>(n_planes), 0.0);
+    for (int i = 1; i < n_steps; ++i) {
+        std::copy_n(row(i - 1), n, row(i));
+        const double t0 = offsets_s[static_cast<std::size_t>(i - 1)];
+        const double t1 = offsets_s[static_cast<std::size_t>(i)];
+        const double dt_s = t1 - t0;
+        expects(dt_s > 0.0, "sweep offsets must be strictly increasing");
+        const double t_mid = 0.5 * (t0 + t1);
+
+        // Raised-cosine storm window, further scaled by the deterministic
+        // solar-activity level at that instant: the same storm template
+        // hits harder near solar maximum.
+        double window = 0.0;
+        const double x = (t_mid - scenario.storm_start_s) / scenario.storm_duration_s;
+        if (x >= 0.0 && x <= 1.0)
+            window = 0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * x));
+        const double activity =
+            radiation::solar_activity(epoch.plus_seconds(t_mid));
+        const double multiplier =
+            1.0 + (scenario.storm_fluence_multiplier - 1.0) * window * activity;
+
+        const double dt_years = dt_s / 86400.0 / 365.25;
+        for (int p = 0; p < n_planes; ++p) {
+            const double rate = annual_failure_rate(
+                scenario.plane_daily_fluence[static_cast<std::size_t>(p)] *
+                    multiplier,
+                scenario.failure_options);
+            p_fail[static_cast<std::size_t>(p)] =
+                1.0 - std::exp(-rate * dt_years);
+        }
+
+        rng r = rng::split(scenario.seed, purpose_storm,
+                           static_cast<std::uint64_t>(i));
+        for (int s = 0; s < n; ++s) {
+            if (row(i)[s]) continue;
+            const int plane = topology.satellites[static_cast<std::size_t>(s)].plane;
+            if (r.bernoulli(p_fail[static_cast<std::size_t>(plane)]))
+                row(i)[s] = 1;
+        }
+    }
+    return timeline;
+}
+
+} // namespace
+
+failure_timeline sample_failure_timeline(const lsn_topology& topology,
+                                         const failure_scenario& scenario,
+                                         std::span<const double> offsets_s,
+                                         const astro::instant& epoch)
+{
+    validate(scenario, topology);
+    switch (scenario.mode) {
+    case failure_mode::kessler_cascade:
+        return sample_cascade_timeline(topology, scenario, offsets_s);
+    case failure_mode::solar_storm:
+        return sample_storm_timeline(topology, scenario, offsets_s, epoch);
+    case failure_mode::greedy_adversary:
+        expects(false,
+                "greedy_adversary needs the delivered-traffic oracle; use "
+                "traffic::generate_adversary_timeline (or set the campaign "
+                "context's adversary oracle)");
+        return {};
+    default:
+        // One-shot modes: the static mask holds for every step — and the
+        // draw is the untouched `sample_failures` stream, bit-identical to
+        // the pre-timeline output.
+        return failure_timeline::from_static_mask(
+            sample_failures(topology, scenario));
+    }
+}
+
 double giant_component_fraction(const network_snapshot& snapshot,
-                                const std::vector<std::uint8_t>& failed)
+                                std::span<const std::uint8_t> failed)
 {
     const int n = snapshot.n_satellites;
     if (n == 0) return 0.0;
@@ -332,6 +597,11 @@ scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
                                          const std::vector<std::vector<vec3>>& positions,
                                          const failure_scenario& scenario)
 {
+    if (is_timeline_mode(scenario.mode))
+        return run_scenario_sweep_timeline(
+            builder, offsets_s, positions,
+            sample_failure_timeline(builder.topology(), scenario, offsets_s,
+                                    builder.epoch()));
     return run_scenario_sweep_masked(builder, offsets_s, positions,
                                      sample_failures(builder.topology(), scenario));
 }
@@ -341,11 +611,24 @@ scenario_sweep_result run_scenario_sweep_masked(
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed)
 {
-    expects(positions.size() == offsets_s.size(),
-            "positions must cover every sweep offset");
     expects(failed.empty() ||
                 failed.size() == static_cast<std::size_t>(builder.n_satellites()),
             "failure mask size mismatch");
+    return run_scenario_sweep_timeline(builder, offsets_s, positions,
+                                       failure_timeline::from_static_mask(failed));
+}
+
+scenario_sweep_result run_scenario_sweep_timeline(
+    const snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const failure_timeline& timeline)
+{
+    expects(positions.size() == offsets_s.size(),
+            "positions must cover every sweep offset");
+    validate(timeline);
+    expects(timeline.n_steps == 0 ||
+                timeline.n_satellites == builder.n_satellites(),
+            "timeline satellite count mismatch");
 
     const int n_steps = static_cast<int>(offsets_s.size());
     const int n_ground = builder.n_ground();
@@ -355,6 +638,7 @@ scenario_sweep_result run_scenario_sweep_masked(
     // never affects the outcome and the serial reduction below is
     // bit-identical for any thread count.
     struct step_result {
+        int n_failed = 0;
         double giant_fraction = 0.0;
         std::vector<double> pair_latency_s; ///< inf = unreachable.
     };
@@ -363,8 +647,10 @@ scenario_sweep_result run_scenario_sweep_masked(
                  [&](std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
                          auto& slot = per_step[i];
+                         const auto failed = timeline.step(static_cast<int>(i));
                          const auto snap =
                              builder.snapshot_from_positions(positions[i], failed);
+                         slot.n_failed = timeline.n_failed_at(static_cast<int>(i));
                          slot.giant_fraction = giant_component_fraction(snap, failed);
                          slot.pair_latency_s.assign(static_cast<std::size_t>(n_pairs),
                                                     inf);
@@ -381,6 +667,9 @@ scenario_sweep_result run_scenario_sweep_masked(
     scenario_sweep_result result;
     result.n_stations = n_ground;
     result.n_steps = n_steps;
+    result.step_n_failed.reserve(per_step.size());
+    result.step_giant_fraction.reserve(per_step.size());
+    result.step_pair_reachable_fraction.reserve(per_step.size());
     result.pair_reachable_fraction.assign(
         static_cast<std::size_t>(n_ground) * static_cast<std::size_t>(n_ground), 0.0);
     result.pair_mean_latency_ms.assign(
@@ -392,13 +681,19 @@ scenario_sweep_result run_scenario_sweep_masked(
     double giant_sum = 0.0;
     for (const auto& step : per_step) {
         giant_sum += step.giant_fraction;
+        int step_reachable = 0;
         for (std::size_t k = 0; k < step.pair_latency_s.size(); ++k) {
             const double latency_s = step.pair_latency_s[k];
             if (latency_s == inf) continue;
+            ++step_reachable;
             ++reach_count[k];
             latency_sum_ms[k] += latency_s * 1000.0;
             pooled_ms.push_back(latency_s * 1000.0);
         }
+        result.step_n_failed.push_back(step.n_failed);
+        result.step_giant_fraction.push_back(step.giant_fraction);
+        result.step_pair_reachable_fraction.push_back(
+            n_pairs > 0 ? static_cast<double>(step_reachable) / n_pairs : 0.0);
     }
 
     long total_reachable = 0;
@@ -420,7 +715,7 @@ scenario_sweep_result run_scenario_sweep_masked(
     }
 
     auto& m = result.metrics;
-    m.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    m.n_failed = timeline.final_n_failed();
     m.giant_component_fraction = n_steps > 0 ? giant_sum / n_steps : 0.0;
     m.pair_reachable_fraction =
         n_pairs > 0 && n_steps > 0

@@ -25,6 +25,7 @@
 
 #include "astro/propagator.h"
 #include "lsn/failures.h"
+#include "lsn/timeline.h"
 #include "lsn/topology.h"
 
 namespace ssplane::lsn {
@@ -51,7 +52,7 @@ public:
     /// n_satellites, nonzero = failed) keeps the satellite's node but gives
     /// it no edges: the slot is dead, the constellation geometry unchanged.
     network_snapshot snapshot(double offset_s,
-                              const std::vector<std::uint8_t>& failed = {}) const;
+                              std::span<const std::uint8_t> failed = {}) const;
 
     /// Satellite ECEF positions for a whole time grid in one batched
     /// propagation sweep: result[step][satellite]. Parallelized over
@@ -60,10 +61,11 @@ public:
         std::span<const double> offsets_s) const;
 
     /// Graph assembled from one step of `positions_at_offsets` output — the
-    /// per-step path of the sweep engine.
+    /// per-step path of the sweep engine. The mask is a span so timeline
+    /// sweeps can hand each step its row without copying.
     network_snapshot snapshot_from_positions(
         const std::vector<vec3>& sat_positions_ecef,
-        const std::vector<std::uint8_t>& failed = {}) const;
+        std::span<const std::uint8_t> failed = {}) const;
 
 private:
     const lsn_topology* topology_;
@@ -75,13 +77,24 @@ private:
     std::vector<vec3> ground_ecef_;
 };
 
-/// How satellites are removed from the network.
+/// How satellites are removed from the network. The first four modes draw
+/// one static mask (`sample_failures`); the last three evolve a per-step
+/// `failure_timeline` and cannot be collapsed to a single mask.
 enum class failure_mode {
     none,              ///< Unfailed baseline.
     random_loss,       ///< `loss_fraction` of satellites, drawn uniformly.
     plane_attack,      ///< `planes_attacked` whole planes, drawn uniformly.
     radiation_poisson, ///< Per-satellite Poisson failures from plane fluence.
+    kessler_cascade,   ///< Debris cascade: losses raise neighbor-plane hazard.
+    solar_storm,       ///< Storm epoch modulating per-plane fluence mid-sweep.
+    greedy_adversary,  ///< Budgeted attacker maximizing delivered-traffic damage.
 };
+
+/// True for the modes that evolve a per-step timeline — these must go
+/// through `sample_failure_timeline` (or, for `greedy_adversary`, the
+/// traffic oracle in `traffic::generate_adversary_timeline`); asking
+/// `sample_failures` for a one-shot mask is a contract violation.
+bool is_timeline_mode(failure_mode mode) noexcept;
 
 /// One failure scenario. Fields are read per `mode`; `seed` makes every
 /// draw reproducible.
@@ -89,12 +102,41 @@ struct failure_scenario {
     failure_mode mode = failure_mode::none;
     double loss_fraction = 0.0; ///< random_loss: fraction of satellites in [0, 1].
     int planes_attacked = 0;    ///< plane_attack: whole planes removed.
-    /// radiation_poisson: daily electron fluence per plane index
-    /// [#/cm^2/MeV], fed through `annual_failure_rate`.
+    /// radiation_poisson / solar_storm: daily electron fluence per plane
+    /// index [#/cm^2/MeV], fed through `annual_failure_rate` (the storm
+    /// multiplies it inside the storm window).
     std::vector<double> plane_daily_fluence;
     double horizon_days = 365.25; ///< radiation_poisson: exposure window.
-    failure_model_options failure_options{}; ///< radiation_poisson: rate map.
+    failure_model_options failure_options{}; ///< radiation/storm: rate map.
     std::uint64_t seed = 0;
+
+    // --- kessler_cascade ----------------------------------------------
+    /// Satellites destroyed by the triggering event at step 0.
+    int cascade_initial_hits = 1;
+    /// Ambient daily collision hazard per live satellite, debris aside.
+    double cascade_base_daily_hazard = 0.0;
+    /// Extra daily hazard per unit of debris in a satellite's plane. Each
+    /// loss deposits 1 unit in its own plane and 0.5 in each adjacent
+    /// (wrapping) plane.
+    double cascade_escalation = 0.05;
+    /// Debris decay time constant [s]: deposited debris decays by
+    /// exp(-dt / cooldown) per step — the deorbit/avoidance relief valve.
+    double cascade_cooldown_s = 21600.0;
+
+    // --- solar_storm ----------------------------------------------------
+    double storm_start_s = 0.0;        ///< Storm onset, offset from epoch.
+    double storm_duration_s = 21600.0; ///< Raised-cosine storm window width.
+    /// Peak fluence multiplier at the window center, further scaled by
+    /// `radiation::solar_activity` at that instant (quiet sun damps it).
+    double storm_fluence_multiplier = 10.0;
+
+    // --- greedy_adversary -------------------------------------------------
+    int adversary_budget = 0;             ///< Whole planes the attacker kills.
+    int adversary_strike_interval_steps = 1; ///< Steps between strikes.
+    int adversary_first_strike_step = 0;     ///< Step of the first strike.
+    /// Evaluate candidate strikes on every `stride`-th sweep step — the
+    /// attacker's planning grid. 1 = the full grid.
+    int adversary_eval_stride = 1;
 };
 
 /// Reject out-of-range scenario knobs with a clear `contract_violation`:
@@ -114,16 +156,30 @@ int plane_count(const lsn_topology& topology);
 
 /// Draw the failed-satellite mask for a scenario (size n_satellites,
 /// 1 = failed). Deterministic in `scenario.seed`. Validates the scenario
-/// against the topology first.
+/// against the topology first. Timeline modes (`is_timeline_mode`) are a
+/// contract violation — they have no single static mask.
 std::vector<std::uint8_t> sample_failures(const lsn_topology& topology,
                                           const failure_scenario& scenario);
+
+/// Evolve the scenario's per-step failure timeline over the sweep grid.
+/// One-shot modes wrap their `sample_failures` mask (bit-identical draw);
+/// `kessler_cascade` and `solar_storm` evolve step-by-step with
+/// deterministic per-step sub-streams (`rng::split(seed, purpose, step)`),
+/// so the timeline is reproducible for any thread count and adding steps
+/// never perturbs earlier rows. `greedy_adversary` is a contract
+/// violation here — it needs the delivered-traffic oracle, which lives in
+/// `traffic::generate_adversary_timeline`.
+failure_timeline sample_failure_timeline(const lsn_topology& topology,
+                                         const failure_scenario& scenario,
+                                         std::span<const double> offsets_s,
+                                         const astro::instant& epoch);
 
 /// Fraction of *all* satellites inside the largest ISL-connected component
 /// (ground nodes and ground links excluded). Satellites flagged in `failed`
 /// never join a component, so the fraction reflects both fragmentation and
 /// raw loss.
 double giant_component_fraction(const network_snapshot& snapshot,
-                                const std::vector<std::uint8_t>& failed = {});
+                                std::span<const std::uint8_t> failed = {});
 
 /// Time grid and geometry thresholds of a sweep.
 struct scenario_sweep_options {
@@ -148,12 +204,19 @@ struct scenario_metrics {
     double p95_latency_ms = 0.0;           ///< Over reachable (pair, step) samples.
 };
 
-/// Full sweep output: scalar metrics plus the all-pairs ground-station
-/// matrices (row-major n_stations x n_stations, symmetric, zero diagonal).
+/// Full sweep output: scalar metrics, per-step degradation traces and the
+/// all-pairs ground-station matrices (row-major n_stations x n_stations,
+/// symmetric, zero diagonal).
 struct scenario_sweep_result {
     scenario_metrics metrics;
     int n_stations = 0;
     int n_steps = 0;
+    /// Per-step degradation traces — flat under a static mask, the
+    /// trajectory of interest under a timeline (time-to-partition,
+    /// recovery headroom are reductions over these).
+    std::vector<int> step_n_failed;
+    std::vector<double> step_giant_fraction;
+    std::vector<double> step_pair_reachable_fraction;
     std::vector<double> pair_reachable_fraction; ///< Fraction of steps routed.
     std::vector<double> pair_mean_latency_ms;    ///< Over that pair's reachable steps.
 
@@ -184,14 +247,24 @@ scenario_sweep_result run_scenario_sweep(const snapshot_builder& builder,
                                          const std::vector<std::vector<vec3>>& positions,
                                          const failure_scenario& scenario);
 
-/// Innermost sweep path: the failure mask is supplied instead of drawn, so
-/// callers holding a mask cache (the campaign runner) evaluate many sweeps
-/// against one `sample_failures` draw. `failed` may be empty (no failures)
-/// or size n_satellites. All other overloads delegate here.
+/// Static-mask sweep path: the failure mask is supplied instead of drawn,
+/// so callers holding a mask cache (the campaign runner) evaluate many
+/// sweeps against one `sample_failures` draw. `failed` may be empty (no
+/// failures) or size n_satellites. Wraps the mask as a single-row timeline
+/// and delegates to `run_scenario_sweep_timeline` — byte-identical to the
+/// pre-timeline implementation.
 scenario_sweep_result run_scenario_sweep_masked(
     const snapshot_builder& builder, std::span<const double> offsets_s,
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed);
+
+/// Innermost sweep path: each step `i` is evaluated under
+/// `timeline.step(i)`. All other overloads delegate here. Bit-identical
+/// for any `SSPLANE_THREADS` value.
+scenario_sweep_result run_scenario_sweep_timeline(
+    const snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const failure_timeline& timeline);
 
 /// p95 latency inflation of `scenario` relative to `baseline` (1 = no
 /// inflation). Returns 0 when either p95 is undefined because no pair was

@@ -13,6 +13,12 @@ bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
                                  std::span<const bulk_transfer_request> requests,
                                  const bulk_route_options& options)
 {
+    if (lsn::is_timeline_mode(scenario.mode))
+        return run_bulk_sweep_timeline(
+            builder, offsets_s, positions,
+            lsn::sample_failure_timeline(builder.topology(), scenario, offsets_s,
+                                         builder.epoch()),
+            requests, options);
     return run_bulk_sweep_masked(builder, offsets_s, positions,
                                  lsn::sample_failures(builder.topology(), scenario),
                                  requests, options);
@@ -28,12 +34,24 @@ bulk_sweep_result run_bulk_sweep_masked(const lsn::snapshot_builder& builder,
     expects(failed.empty() ||
                 failed.size() == static_cast<std::size_t>(builder.n_satellites()),
             "failure mask size mismatch");
-    auto graph =
-        build_time_expanded_graph(builder, offsets_s, positions, failed, options);
+    return run_bulk_sweep_timeline(builder, offsets_s, positions,
+                                   lsn::failure_timeline::from_static_mask(failed),
+                                   requests, options);
+}
+
+bulk_sweep_result run_bulk_sweep_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options)
+{
+    auto graph = build_time_expanded_graph_timeline(builder, offsets_s, positions,
+                                                    timeline, options);
 
     bulk_sweep_result result;
     result.n_steps = graph.n_steps;
-    result.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    result.n_failed = timeline.final_n_failed();
     result.routing = route_bulk_transfers(graph, requests);
     return result;
 }
@@ -60,6 +78,12 @@ bulk_sweep_result run_bulk_sweep_per_step_baseline(
     std::span<const bulk_transfer_request> requests,
     const bulk_route_options& options)
 {
+    if (lsn::is_timeline_mode(scenario.mode))
+        return run_bulk_sweep_per_step_baseline_timeline(
+            builder, offsets_s, positions,
+            lsn::sample_failure_timeline(builder.topology(), scenario, offsets_s,
+                                         builder.epoch()),
+            requests, options);
     return run_bulk_sweep_per_step_baseline_masked(
         builder, offsets_s, positions,
         lsn::sample_failures(builder.topology(), scenario), requests, options);
@@ -75,13 +99,25 @@ bulk_sweep_result run_bulk_sweep_per_step_baseline_masked(
     expects(failed.empty() ||
                 failed.size() == static_cast<std::size_t>(builder.n_satellites()),
             "failure mask size mismatch");
+    return run_bulk_sweep_per_step_baseline_timeline(
+        builder, offsets_s, positions,
+        lsn::failure_timeline::from_static_mask(failed), requests, options);
+}
+
+bulk_sweep_result run_bulk_sweep_per_step_baseline_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options)
+{
     validate(options); // fail before paying the parallel materialization
     const auto snapshots =
-        materialize_snapshots(builder, offsets_s, positions, failed);
+        materialize_snapshots_timeline(builder, offsets_s, positions, timeline);
 
     bulk_sweep_result result;
     result.n_steps = static_cast<int>(offsets_s.size());
-    result.n_failed = static_cast<int>(std::count(failed.begin(), failed.end(), 1));
+    result.n_failed = timeline.final_n_failed();
     result.routing = route_bulk_transfers_per_step_baseline(snapshots, offsets_s,
                                                             requests, options);
     return result;

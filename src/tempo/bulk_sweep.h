@@ -37,16 +37,29 @@ bulk_sweep_result run_bulk_sweep(const lsn::snapshot_builder& builder,
                                  std::span<const bulk_transfer_request> requests,
                                  const bulk_route_options& options = {});
 
-/// Innermost sweep path: the failure mask is supplied instead of drawn, so
-/// callers holding a mask cache (the campaign runner) evaluate many sweeps
-/// against one `sample_failures` draw. `failed` may be empty (no failures)
-/// or size n_satellites. The scenario overloads delegate here.
+/// Static-mask sweep path: the failure mask is supplied instead of drawn,
+/// so callers holding a mask cache (the campaign runner) evaluate many
+/// sweeps against one `sample_failures` draw. `failed` may be empty (no
+/// failures) or size n_satellites. Wraps the mask as a single-row timeline
+/// and delegates to `run_bulk_sweep_timeline` — byte-identical to the
+/// pre-timeline implementation.
 bulk_sweep_result run_bulk_sweep_masked(const lsn::snapshot_builder& builder,
                                         std::span<const double> offsets_s,
                                         const std::vector<std::vector<vec3>>& positions,
                                         const std::vector<std::uint8_t>& failed,
                                         std::span<const bulk_transfer_request> requests,
                                         const bulk_route_options& options = {});
+
+/// Innermost sweep path: the time-expanded graph is built under the
+/// timeline (per-step link and storage gating), so bulk volume must route
+/// *around* the failure process as it unfolds. All other overloads
+/// delegate here.
+bulk_sweep_result run_bulk_sweep_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options = {});
 
 /// Convenience overload that builds the builder and propagation pass
 /// itself, mirroring the one-shot `run_traffic_sweep` signature.
@@ -74,6 +87,15 @@ bulk_sweep_result run_bulk_sweep_per_step_baseline_masked(
     const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed,
+    std::span<const bulk_transfer_request> requests,
+    const bulk_route_options& options = {});
+
+/// Timeline variant of the per-step baseline: each epoch is replayed under
+/// that step's mask.
+bulk_sweep_result run_bulk_sweep_per_step_baseline_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline,
     std::span<const bulk_transfer_request> requests,
     const bulk_route_options& options = {});
 

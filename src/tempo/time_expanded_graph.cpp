@@ -60,6 +60,20 @@ time_expanded_graph build_time_expanded_graph(
     std::span<const double> offsets_s, const std::vector<std::uint8_t>& failed,
     const bulk_route_options& options)
 {
+    expects(failed.empty() || snapshots.empty() ||
+                failed.size() ==
+                    static_cast<std::size_t>(snapshots[0].n_satellites),
+            "failure mask size mismatch");
+    return build_time_expanded_graph_timeline(
+        snapshots, offsets_s, lsn::failure_timeline::from_static_mask(failed),
+        options);
+}
+
+time_expanded_graph build_time_expanded_graph_timeline(
+    std::span<const lsn::network_snapshot> snapshots,
+    std::span<const double> offsets_s, const lsn::failure_timeline& timeline,
+    const bulk_route_options& options)
+{
     validate(options);
     expects(!snapshots.empty(), "need at least one snapshot");
     expects(snapshots.size() == offsets_s.size(),
@@ -72,12 +86,10 @@ time_expanded_graph build_time_expanded_graph(
     graph.options = options;
     graph.offsets_s.assign(offsets_s.begin(), offsets_s.end());
     graph.dwell_s = step_dwells(offsets_s, options.last_step_s);
-    expects(failed.empty() ||
-                failed.size() == static_cast<std::size_t>(graph.n_satellites),
-            "failure mask size mismatch");
-    const auto is_failed = [&](int s) {
-        return !failed.empty() && failed[static_cast<std::size_t>(s)] != 0;
-    };
+    lsn::validate(timeline);
+    expects(timeline.n_steps == 0 ||
+                timeline.n_satellites == graph.n_satellites,
+            "timeline satellite count mismatch");
 
     const int n_nodes = graph.n_nodes();
     std::vector<std::vector<time_expanded_graph::arc>> adjacency(
@@ -118,12 +130,17 @@ time_expanded_graph build_time_expanded_graph(
             }
         }
 
-        // Storage arcs into the next step: buffered satellites (live, with a
-        // non-zero buffer) get a capacity slot; ground stores for free.
+        // Storage arcs into the next step: buffered satellites (live at
+        // this step, with a non-zero buffer) get a capacity slot; ground
+        // stores for free. A satellite that dies mid-sweep loses its
+        // storage arcs from its failure step on.
         if (i + 1 == graph.n_steps) continue;
+        const auto step_failed = timeline.step(i);
         if (options.sat_buffer_gb > 0.0) {
             for (int s = 0; s < graph.n_satellites; ++s) {
-                if (is_failed(s)) continue;
+                if (!step_failed.empty() &&
+                    step_failed[static_cast<std::size_t>(s)] != 0)
+                    continue;
                 time_expanded_graph::slot store;
                 store.step = i;
                 store.a = s;
@@ -159,12 +176,27 @@ std::vector<lsn::network_snapshot> materialize_snapshots(
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed)
 {
+    return materialize_snapshots_timeline(
+        builder, offsets_s, positions,
+        lsn::failure_timeline::from_static_mask(failed));
+}
+
+std::vector<lsn::network_snapshot> materialize_snapshots_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline)
+{
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
+    lsn::validate(timeline);
+    expects(timeline.n_steps == 0 ||
+                timeline.n_satellites == builder.n_satellites(),
+            "timeline satellite count mismatch");
     std::vector<lsn::network_snapshot> snapshots(offsets_s.size());
     parallel_for(offsets_s.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i)
-            snapshots[i] = builder.snapshot_from_positions(positions[i], failed);
+            snapshots[i] = builder.snapshot_from_positions(
+                positions[i], timeline.step(static_cast<int>(i)));
     });
     return snapshots;
 }
@@ -174,10 +206,20 @@ time_expanded_graph build_time_expanded_graph(
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed, const bulk_route_options& options)
 {
+    return build_time_expanded_graph_timeline(
+        builder, offsets_s, positions,
+        lsn::failure_timeline::from_static_mask(failed), options);
+}
+
+time_expanded_graph build_time_expanded_graph_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline, const bulk_route_options& options)
+{
     validate(options); // fail before paying the parallel materialization
-    return build_time_expanded_graph(
-        materialize_snapshots(builder, offsets_s, positions, failed), offsets_s,
-        failed, options);
+    return build_time_expanded_graph_timeline(
+        materialize_snapshots_timeline(builder, offsets_s, positions, timeline),
+        offsets_s, timeline, options);
 }
 
 } // namespace ssplane::tempo

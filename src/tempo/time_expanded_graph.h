@@ -137,6 +137,18 @@ time_expanded_graph build_time_expanded_graph(
     const std::vector<std::uint8_t>& failed = {},
     const bulk_route_options& options = {});
 
+/// Timeline variant of the snapshot-span builder: step `i`'s storage arcs
+/// are gated by `timeline.step(i)` — a satellite that dies mid-sweep keeps
+/// buffering up to its failure step and loses the stored volume after (the
+/// snapshots are expected to be materialized under the same timeline). The
+/// static-mask entry point above delegates here; a single-row timeline
+/// reproduces it byte-for-byte. (Distinct name, not an overload: `{}`
+/// braces at the mask position would otherwise be ambiguous.)
+time_expanded_graph build_time_expanded_graph_timeline(
+    std::span<const lsn::network_snapshot> snapshots,
+    std::span<const double> offsets_s, const lsn::failure_timeline& timeline,
+    const bulk_route_options& options = {});
+
 /// Assemble the graph from a scenario-sweep builder and its batched
 /// `positions_at_offsets(offsets_s)` output, with `failed` (from
 /// `lsn::sample_failures`) knocking links *and* storage out of dead
@@ -149,6 +161,15 @@ time_expanded_graph build_time_expanded_graph(
     const std::vector<std::uint8_t>& failed = {},
     const bulk_route_options& options = {});
 
+/// Timeline variant of the builder entry point: step `i`'s snapshot is
+/// masked by `timeline.step(i)` (links die with the satellite at its
+/// failure step) and its storage arcs are gated the same way.
+time_expanded_graph build_time_expanded_graph_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline,
+    const bulk_route_options& options = {});
+
 /// Materialize every step's failure-masked snapshot from one
 /// `positions_at_offsets` output — parallel over steps with per-step
 /// slots, so the result is bit-identical for any `SSPLANE_THREADS` value.
@@ -157,6 +178,12 @@ std::vector<lsn::network_snapshot> materialize_snapshots(
     const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed = {});
+
+/// Timeline variant: step `i`'s snapshot is masked by `timeline.step(i)`.
+std::vector<lsn::network_snapshot> materialize_snapshots_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline);
 
 } // namespace ssplane::tempo
 

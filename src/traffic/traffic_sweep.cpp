@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "traffic/adversary.h"
 #include "util/expects.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -15,6 +16,18 @@ traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
                                        const demand::demand_model& demand,
                                        const traffic_sweep_options& options)
 {
+    if (lsn::is_timeline_mode(scenario.mode)) {
+        // The adversary scores strikes against *this* sweep's demand and
+        // capacity knobs — the natural oracle when traffic is the metric.
+        const auto timeline =
+            scenario.mode == lsn::failure_mode::greedy_adversary
+                ? generate_adversary_timeline(builder, offsets_s, positions,
+                                              scenario, demand, options)
+                : lsn::sample_failure_timeline(builder.topology(), scenario,
+                                               offsets_s, builder.epoch());
+        return run_traffic_sweep_timeline(builder, offsets_s, positions, timeline,
+                                          demand, options);
+    }
     return run_traffic_sweep_masked(builder, offsets_s, positions,
                                     lsn::sample_failures(builder.topology(), scenario),
                                     demand, options);
@@ -26,11 +39,26 @@ traffic_sweep_result run_traffic_sweep_masked(
     const std::vector<std::uint8_t>& failed, const demand::demand_model& demand,
     const traffic_sweep_options& options)
 {
-    expects(positions.size() == offsets_s.size(),
-            "positions must cover every sweep offset");
     expects(failed.empty() ||
                 failed.size() == static_cast<std::size_t>(builder.n_satellites()),
             "failure mask size mismatch");
+    return run_traffic_sweep_timeline(builder, offsets_s, positions,
+                                      lsn::failure_timeline::from_static_mask(failed),
+                                      demand, options);
+}
+
+traffic_sweep_result run_traffic_sweep_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline, const demand::demand_model& demand,
+    const traffic_sweep_options& options)
+{
+    expects(positions.size() == offsets_s.size(),
+            "positions must cover every sweep offset");
+    lsn::validate(timeline);
+    expects(timeline.n_steps == 0 ||
+                timeline.n_satellites == builder.n_satellites(),
+            "timeline satellite count mismatch");
     // Fail on degenerate knobs before the parallel fan-out so the error is
     // a clear contract_violation, not one racing out of a worker.
     validate(options.capacity);
@@ -55,8 +83,8 @@ traffic_sweep_result run_traffic_sweep_masked(
                          const auto t = builder.epoch().plus_seconds(offsets_s[i]);
                          const auto matrix = build_traffic_matrix(
                              demand, builder.stations(), t, options.matrix);
-                         const auto snap =
-                             builder.snapshot_from_positions(positions[i], failed);
+                         const auto snap = builder.snapshot_from_positions(
+                             positions[i], timeline.step(static_cast<int>(i)));
                          const auto flow =
                              assign_flows(snap, matrix, options.capacity);
                          slot.offered_gbps = flow.offered_gbps;

@@ -62,14 +62,26 @@ traffic_sweep_result run_traffic_sweep(const lsn::snapshot_builder& builder,
                                        const demand::demand_model& demand,
                                        const traffic_sweep_options& options = {});
 
-/// Innermost sweep path: the failure mask is supplied instead of drawn, so
-/// callers holding a mask cache (the campaign runner) evaluate many sweeps
-/// against one `sample_failures` draw. `failed` may be empty (no failures)
-/// or size n_satellites. The scenario overloads delegate here.
+/// Static-mask sweep path: the failure mask is supplied instead of drawn,
+/// so callers holding a mask cache (the campaign runner) evaluate many
+/// sweeps against one `sample_failures` draw. `failed` may be empty (no
+/// failures) or size n_satellites. Wraps the mask as a single-row timeline
+/// and delegates to `run_traffic_sweep_timeline` — byte-identical to the
+/// pre-timeline implementation.
 traffic_sweep_result run_traffic_sweep_masked(
     const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
     const std::vector<std::vector<vec3>>& positions,
     const std::vector<std::uint8_t>& failed, const demand::demand_model& demand,
+    const traffic_sweep_options& options = {});
+
+/// Innermost sweep path: each step `i` assigns flows under
+/// `timeline.step(i)`, so delivered throughput traces the failure process
+/// as it unfolds. All other overloads delegate here. Bit-identical for any
+/// `SSPLANE_THREADS` value.
+traffic_sweep_result run_traffic_sweep_timeline(
+    const lsn::snapshot_builder& builder, std::span<const double> offsets_s,
+    const std::vector<std::vector<vec3>>& positions,
+    const lsn::failure_timeline& timeline, const demand::demand_model& demand,
     const traffic_sweep_options& options = {});
 
 /// Convenience overload that builds the builder and propagation pass

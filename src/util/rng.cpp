@@ -106,4 +106,18 @@ rng rng::fork(std::uint64_t stream_index) noexcept
     return rng(mix);
 }
 
+rng rng::split(std::uint64_t seed, std::uint64_t purpose, std::uint64_t step) noexcept
+{
+    // Fold the triple through splitmix64 one component at a time; each fold
+    // fully avalanches, so (seed, purpose, step) triples differing in any
+    // component land in unrelated regions of the seed space. The additive
+    // constants keep purpose/step zero from degenerating into a no-op fold.
+    std::uint64_t s = seed;
+    std::uint64_t h = splitmix64(s);
+    s = h ^ (purpose + 0xD1B54A32D192ED03ULL);
+    h = splitmix64(s);
+    s = h ^ (step + 0x8CB92BA72F3D8DD7ULL);
+    return rng(splitmix64(s));
+}
+
 } // namespace ssplane

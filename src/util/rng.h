@@ -49,6 +49,14 @@ public:
     /// Derive an independent child generator (stable given the call index).
     rng fork(std::uint64_t stream_index) noexcept;
 
+    /// Named sub-stream of a seed: a generator derived from (seed, purpose,
+    /// step) through a splitmix64 chain. Streams with different purposes or
+    /// steps are statistically independent of each other *and* of
+    /// `rng(seed)` itself, so a component can add per-step draws without
+    /// perturbing any existing single-shot draw on the same seed.
+    static rng split(std::uint64_t seed, std::uint64_t purpose,
+                     std::uint64_t step = 0) noexcept;
+
 private:
     std::uint64_t state_[4];
     double cached_normal_ = 0.0;

@@ -364,6 +364,218 @@ TEST(Campaign, CellAccessAndDetailCastsAreGuarded)
     EXPECT_THROW(bulk_engine::detail(campaign.cell(0, 1)), contract_violation);
 }
 
+/// Cascade + storm + adversary templates — one of each timeline mode.
+std::vector<scenario_spec> timeline_scenarios(int n_planes)
+{
+    std::vector<scenario_spec> scenarios;
+    scenarios.push_back({"baseline", {}});
+
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 2;
+    cascade.cascade_base_daily_hazard = 0.2;
+    cascade.cascade_escalation = 1.0;
+    cascade.cascade_cooldown_s = 4.0 * 3600.0;
+    cascade.seed = 5;
+    scenarios.push_back({"cascade", cascade});
+
+    lsn::failure_scenario storm;
+    storm.mode = lsn::failure_mode::solar_storm;
+    storm.plane_daily_fluence.assign(static_cast<std::size_t>(n_planes), 5.0e10);
+    storm.storm_start_s = 1800.0;
+    storm.storm_duration_s = 3600.0;
+    storm.storm_fluence_multiplier = 5000.0;
+    storm.seed = 3;
+    scenarios.push_back({"storm", storm});
+
+    lsn::failure_scenario adversary;
+    adversary.mode = lsn::failure_mode::greedy_adversary;
+    adversary.adversary_budget = 2;
+    adversary.adversary_strike_interval_steps = 1;
+    adversary.adversary_first_strike_step = 1;
+    scenarios.push_back({"adversary", adversary});
+    return scenarios;
+}
+
+TEST(Campaign, TimelineScenariosRunThroughAllEnginesBitIdenticallyAcrossThreads)
+{
+    const auto topo = small_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    // Storm epochs need an active sun; anchor near the cycle-24 maximum.
+    const auto epoch = astro::instant::from_calendar(2014, 4, 1, 0, 0, 0.0);
+
+    experiment_plan plan;
+    plan.scenarios = timeline_scenarios(lsn::plane_count(topo));
+    plan.engines = {std::make_shared<survivability_engine>(),
+                    std::make_shared<traffic_engine>(test_demand()),
+                    std::make_shared<bulk_engine>(test_requests())};
+
+    std::vector<campaign_result> runs;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        set_thread_count(threads);
+        evaluation_context context(topo, stations, epoch, short_grid());
+        context.set_adversary_oracle(test_demand());
+        runs.push_back(run_campaign(plan, context));
+    }
+    set_thread_count(0);
+
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        ASSERT_EQ(runs[i].rows.size(), runs[0].rows.size());
+        ASSERT_EQ(runs[i].cells.size(), runs[0].cells.size());
+        for (std::size_t r = 0; r < runs[0].rows.size(); ++r)
+            EXPECT_EQ(runs[i].rows[r].n_failed, runs[0].rows[r].n_failed);
+        for (std::size_t c = 0; c < runs[0].cells.size(); ++c)
+            EXPECT_EQ(runs[i].cells[c].values, runs[0].cells[c].values);
+    }
+
+    // The timeline scenarios actually bit: every non-baseline row lost
+    // satellites, and the adversary's loss is exactly its plane budget.
+    const auto& campaign = runs[0];
+    EXPECT_EQ(campaign.rows[0].n_failed, 0);
+    for (std::size_t r = 1; r < campaign.rows.size(); ++r)
+        EXPECT_GT(campaign.rows[r].n_failed, 0) << campaign.rows[r].name;
+    EXPECT_EQ(campaign.rows[3].n_failed,
+              2 * topo.satellites.size() / 6); // 2 planes of a 6-plane grid
+
+    // Degradation-trajectory scalars: the baseline never partitions and
+    // has nothing to recover from; degrading scenarios report sane values.
+    EXPECT_EQ(campaign.value(0, "survivability.time_to_partition_s"), -1.0);
+    EXPECT_EQ(campaign.value(0, "survivability.recovery_headroom"), 0.0);
+    for (int r = 0; r < 4; ++r) {
+        EXPECT_GE(campaign.value(r, "survivability.recovery_headroom"), 0.0);
+        EXPECT_LE(campaign.value(r, "traffic.min_step_delivered_fraction"),
+                  campaign.value(r, "traffic.delivered_fraction") + 1e-12);
+    }
+}
+
+TEST(Campaign, AdversaryScenariosRequireTheOracle)
+{
+    const auto topo = small_walker(4, 4);
+    const auto stations = traffic::stations_from_cities(4);
+    const evaluation_context context(topo, stations, astro::instant::j2000(),
+                                     short_grid());
+
+    experiment_plan plan;
+    lsn::failure_scenario adversary;
+    adversary.mode = lsn::failure_mode::greedy_adversary;
+    adversary.adversary_budget = 1;
+    plan.scenarios = {{"adversary", adversary}};
+    plan.engines = {std::make_shared<survivability_engine>()};
+    EXPECT_THROW(run_campaign(plan, context), contract_violation);
+}
+
+TEST(Campaign, TimelinesAreCachedAndStaticModesStillFillTheMaskCache)
+{
+    const auto topo = small_walker(4, 4);
+    const auto stations = traffic::stations_from_cities(4);
+    const evaluation_context context(topo, stations, astro::instant::j2000(),
+                                     short_grid());
+
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 1;
+    cascade.cascade_base_daily_hazard = 0.1;
+    cascade.seed = 5;
+
+    experiment_plan plan;
+    plan.scenarios = {{"baseline", {}}, {"cascade", cascade}};
+    plan.engines = {std::make_shared<survivability_engine>(),
+                    std::make_shared<traffic_engine>(test_demand())};
+    const auto campaign = run_campaign(plan, context);
+
+    // One timeline per distinct scenario; the static baseline still drew
+    // through the mask cache (legacy dedup contract intact).
+    EXPECT_EQ(context.timeline_cache_size(), 2u);
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+
+    // Rows sharing a timeline share the evaluation; distinct ones do not.
+    const auto again = run_campaign(plan, context);
+    EXPECT_EQ(context.timeline_cache_size(), 2u);
+    for (std::size_t c = 0; c < campaign.cells.size(); ++c)
+        EXPECT_EQ(campaign.cells[c].values, again.cells[c].values);
+}
+
+TEST(Campaign, StaticScenarioCampaignIsByteIdenticalToPreTimelineBehavior)
+{
+    // The legacy-equivalence acceptance gate: a static-mode campaign CSV
+    // must carry exactly the legacy sweep numbers (the columns grew, the
+    // shared ones did not move).
+    const auto topo = small_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const auto epoch = astro::instant::j2000();
+    const auto grid = short_grid();
+    const evaluation_context context(topo, stations, epoch, grid);
+
+    const auto plan = mixed_plan(lsn::plane_count(topo), 7);
+    const auto campaign = run_campaign(plan, context);
+    for (std::size_t r = 0; r < campaign.rows.size(); ++r) {
+        const auto& scenario = campaign.rows[r].scenario;
+        const int row = static_cast<int>(r);
+        const auto mask = lsn::sample_failures(topo, scenario);
+        const auto surv = lsn::run_scenario_sweep_masked(
+            context.builder(), context.offsets(), context.positions(), mask);
+        EXPECT_EQ(campaign.value(row, "survivability.giant_component_fraction"),
+                  surv.metrics.giant_component_fraction);
+        EXPECT_EQ(campaign.value(row, "survivability.p95_latency_ms"),
+                  surv.metrics.p95_latency_ms);
+        const auto traf = traffic::run_traffic_sweep_masked(
+            context.builder(), context.offsets(), context.positions(), mask,
+            test_demand());
+        EXPECT_EQ(campaign.value(row, "traffic.delivered_gbps_mean"),
+                  traf.metrics.delivered_gbps_mean);
+    }
+}
+
+TEST(Campaign, StepCsvCarriesPerStepDegradationTraces)
+{
+    const auto topo = small_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const evaluation_context context(topo, stations, astro::instant::j2000(),
+                                     short_grid());
+
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 2;
+    cascade.cascade_base_daily_hazard = 0.3;
+    cascade.cascade_escalation = 1.0;
+    cascade.seed = 5;
+
+    experiment_plan plan;
+    plan.scenarios = {{"baseline", {}}, {"cascade", cascade}};
+    plan.engines = {std::make_shared<survivability_engine>(),
+                    std::make_shared<traffic_engine>(test_demand()),
+                    std::make_shared<bulk_engine>(test_requests())};
+    const auto campaign = run_campaign(plan, context);
+
+    // Flattened step columns: survivability's three + traffic's three (the
+    // bulk engine has no per-step view).
+    ASSERT_EQ(campaign.step_columns.size(), 6u);
+    EXPECT_EQ(campaign.step_columns[0], "survivability.n_failed");
+    EXPECT_EQ(campaign.step_columns[3], "traffic.offered_gbps");
+
+    std::ostringstream out;
+    campaign.write_step_csv(out);
+    const std::string text = out.str();
+    const std::string header = text.substr(0, text.find('\n'));
+    EXPECT_EQ(header.rfind("scenario,step,offset_s,", 0), 0u);
+    for (const auto& column : campaign.step_columns)
+        EXPECT_NE(header.find(column), std::string::npos) << column;
+
+    // One line per (scenario, step) plus the header.
+    const auto lines =
+        static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+    EXPECT_EQ(lines, campaign.rows.size() * context.offsets().size() + 1);
+
+    // The cascade's trace rows carry its growing loss count: the last step
+    // line ends with the timeline's final state, the first with step 0's.
+    const auto& surv_cell = survivability_engine::detail(
+        campaign.cell(1, campaign.engine_index("survivability")));
+    EXPECT_EQ(surv_cell.step_n_failed.front(), 2);
+    EXPECT_GE(surv_cell.step_n_failed.back(), surv_cell.step_n_failed.front());
+    EXPECT_NE(text.find("\ncascade,0,"), std::string::npos);
+    EXPECT_NE(text.find("\ncascade,3,"), std::string::npos);
+}
+
 TEST(Campaign, PerStepBulkEngineReportsTheReplicationFloor)
 {
     const auto topo = small_walker();

@@ -145,5 +145,78 @@ TEST(EvaluationContext, MaskLookupValidatesScenario)
     EXPECT_THROW(context.failure_mask(nan_rate), contract_violation);
 }
 
+TEST(EvaluationContext, TimelineLookupWrapsStaticModesAndCachesTimelineModes)
+{
+    const auto topo = small_walker(5, 5);
+    const evaluation_context context(topo, {}, astro::instant::j2000(), short_grid());
+
+    // Static modes wrap their mask-cache entry: one row, same bytes.
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.3;
+    loss.seed = 42;
+    const auto& static_timeline = context.timeline(loss);
+    EXPECT_TRUE(static_timeline.is_static());
+    EXPECT_EQ(static_timeline.masks, context.failure_mask(loss));
+    EXPECT_EQ(context.mask_cache_size(), 1u);
+    EXPECT_EQ(context.timeline_cache_size(), 1u);
+
+    // Timeline modes match the direct generator draw and dedupe on knobs.
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 2;
+    cascade.cascade_base_daily_hazard = 0.3;
+    cascade.seed = 7;
+    const auto& cached = context.timeline(cascade);
+    EXPECT_EQ(cached.masks,
+              lsn::sample_failure_timeline(topo, cascade, context.offsets(),
+                                           context.epoch())
+                  .masks);
+    EXPECT_EQ(&context.timeline(cascade), &cached);
+    EXPECT_EQ(context.timeline_cache_size(), 2u);
+
+    // A different seed is a different draw; a knob the mode never reads
+    // is not.
+    lsn::failure_scenario reseeded = cascade;
+    reseeded.seed = 8;
+    context.timeline(reseeded);
+    EXPECT_EQ(context.timeline_cache_size(), 3u);
+    lsn::failure_scenario noisy = cascade;
+    noisy.loss_fraction = 0.9;
+    noisy.planes_attacked = 3;
+    EXPECT_EQ(&context.timeline(noisy), &cached);
+    EXPECT_EQ(context.timeline_cache_size(), 3u);
+
+    // Validation still guards the lookup.
+    lsn::failure_scenario bad = cascade;
+    bad.cascade_initial_hits = -1;
+    EXPECT_THROW(context.timeline(bad), contract_violation);
+}
+
+TEST(EvaluationContext, AdversaryTimelinesNeedTheOracleArmedExactlyOnce)
+{
+    const auto topo = small_walker(4, 4);
+    evaluation_context context(topo, lsn::default_ground_stations(),
+                               astro::instant::j2000(), short_grid());
+
+    lsn::failure_scenario adversary;
+    adversary.mode = lsn::failure_mode::greedy_adversary;
+    adversary.adversary_budget = 1;
+
+    // Unarmed: the lookup refuses rather than inventing demand.
+    EXPECT_THROW(context.timeline(adversary), contract_violation);
+
+    static const demand::population_model population;
+    static const demand::demand_model demand(population);
+    context.set_adversary_oracle(demand);
+    const auto& timeline = context.timeline(adversary);
+    EXPECT_EQ(timeline.final_n_failed(), 4); // one plane of the 4x4 grid
+    EXPECT_EQ(&context.timeline(adversary), &timeline);
+
+    // Re-arming after a cached adversary timeline exists would silently
+    // leave stale entries keyed under the old oracle — rejected.
+    EXPECT_THROW(context.set_adversary_oracle(demand), contract_violation);
+}
+
 } // namespace
 } // namespace ssplane::exp

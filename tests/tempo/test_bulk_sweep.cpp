@@ -187,5 +187,52 @@ TEST(BulkSweep, BitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(BulkSweep, CascadeTimelineRoutesAroundTheUnfoldingFailure)
+{
+    const auto topo = test_walker();
+    const auto stations = traffic::stations_from_cities(4);
+    const auto epoch = astro::instant::j2000();
+    const auto sweep = short_sweep();
+    const lsn::snapshot_builder builder(topo, stations, epoch,
+                                        sweep.min_elevation_rad);
+    const auto offsets = lsn::sweep_offsets(sweep.duration_s, sweep.step_s);
+    const auto positions = builder.positions_at_offsets(offsets);
+    const std::vector<bulk_transfer_request> requests{
+        {0, 2, 5000.0, 0.0, 7200.0},
+        {1, 3, 3000.0, 1800.0, 7200.0},
+    };
+
+    lsn::failure_scenario cascade;
+    cascade.mode = lsn::failure_mode::kessler_cascade;
+    cascade.cascade_initial_hits = 5;
+    cascade.cascade_base_daily_hazard = 0.5;
+    cascade.cascade_escalation = 2.0;
+    cascade.cascade_cooldown_s = 7200.0;
+    cascade.seed = 9;
+
+    const auto baseline =
+        run_bulk_sweep(builder, offsets, positions, {}, requests);
+    const auto degraded =
+        run_bulk_sweep(builder, offsets, positions, cascade, requests);
+    const auto timeline =
+        lsn::sample_failure_timeline(topo, cascade, offsets, epoch);
+
+    // The scenario entry point routed through the timeline internals: its
+    // loss count is the timeline's final row, and delivered volume can only
+    // shrink relative to the unfailed baseline.
+    EXPECT_EQ(degraded.n_failed, timeline.final_n_failed());
+    EXPECT_GT(degraded.n_failed, 0);
+    EXPECT_LE(degraded.routing.delivered_gb,
+              baseline.routing.delivered_gb + 1e-9);
+
+    // Explicit-timeline and scenario paths agree exactly.
+    const auto explicit_timeline =
+        run_bulk_sweep_timeline(builder, offsets, positions, timeline, requests);
+    EXPECT_EQ(degraded.routing.delivered_gb,
+              explicit_timeline.routing.delivered_gb);
+    EXPECT_EQ(degraded.routing.max_buffer_gb,
+              explicit_timeline.routing.max_buffer_gb);
+}
+
 } // namespace
 } // namespace ssplane::tempo

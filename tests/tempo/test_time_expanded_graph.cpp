@@ -165,5 +165,75 @@ TEST(TimeExpandedGraph, ValidatesOptionsAndGrid)
                  contract_violation);
 }
 
+TEST(TimeExpandedGraph, TimelineGatesStoragePerStep)
+{
+    // s0 dies at step 1: it buffers across 0 -> 1 but not across 1 -> 2.
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot(),
+                                                   chain_snapshot()};
+    const std::vector<double> offsets{0.0, 600.0, 1200.0};
+    lsn::failure_timeline timeline;
+    timeline.n_satellites = 2;
+    timeline.n_steps = 3;
+    timeline.masks = {0, 0, /**/ 1, 0, /**/ 1, 0};
+    const auto graph =
+        build_time_expanded_graph_timeline(snaps, offsets, timeline, {});
+
+    int s0_storage = 0;
+    int s1_storage = 0;
+    for (const auto& s : graph.slots) {
+        if (!s.storage) continue;
+        if (s.a == 0) {
+            ++s0_storage;
+            EXPECT_EQ(s.step, 0); // only before its failure step
+        } else {
+            ++s1_storage;
+        }
+    }
+    EXPECT_EQ(s0_storage, 1);
+    EXPECT_EQ(s1_storage, 2);
+}
+
+TEST(TimeExpandedGraph, StaticTimelineMatchesMaskedBuilderExactly)
+{
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot()};
+    const std::vector<double> offsets{0.0, 600.0};
+    const std::vector<std::uint8_t> failed{1, 0};
+
+    const auto masked = build_time_expanded_graph(snaps, offsets, failed, {});
+    const auto via_timeline = build_time_expanded_graph_timeline(
+        snaps, offsets, lsn::failure_timeline::from_static_mask(failed), {});
+
+    ASSERT_EQ(masked.slots.size(), via_timeline.slots.size());
+    for (std::size_t i = 0; i < masked.slots.size(); ++i) {
+        EXPECT_EQ(masked.slots[i].a, via_timeline.slots[i].a);
+        EXPECT_EQ(masked.slots[i].b, via_timeline.slots[i].b);
+        EXPECT_EQ(masked.slots[i].step, via_timeline.slots[i].step);
+        EXPECT_EQ(masked.slots[i].storage, via_timeline.slots[i].storage);
+        EXPECT_EQ(masked.slots[i].capacity_gb, via_timeline.slots[i].capacity_gb);
+    }
+    ASSERT_EQ(masked.arcs.size(), via_timeline.arcs.size());
+    for (std::size_t i = 0; i < masked.arcs.size(); ++i) {
+        EXPECT_EQ(masked.arcs[i].to, via_timeline.arcs[i].to);
+        EXPECT_EQ(masked.arcs[i].slot, via_timeline.arcs[i].slot);
+        EXPECT_EQ(masked.arcs[i].traverse_s, via_timeline.arcs[i].traverse_s);
+    }
+    EXPECT_EQ(masked.arc_begin, via_timeline.arc_begin);
+}
+
+TEST(TimeExpandedGraph, TimelineSatelliteCountMismatchIsRejected)
+{
+    const std::vector<lsn::network_snapshot> snaps{chain_snapshot(),
+                                                   chain_snapshot()};
+    const std::vector<double> offsets{0.0, 600.0};
+    lsn::failure_timeline wrong;
+    wrong.n_satellites = 3; // snapshots carry 2
+    wrong.n_steps = 1;
+    wrong.masks = {0, 0, 0};
+    EXPECT_THROW(build_time_expanded_graph_timeline(snaps, offsets, wrong, {}),
+                 contract_violation);
+}
+
 } // namespace
 } // namespace ssplane::tempo

@@ -124,5 +124,31 @@ TEST(Rng, ForkedStreamsAreIndependentAndStable)
     EXPECT_LT(same, 2);
 }
 
+TEST(Rng, SplitIsDeterministicPerPurposeAndStep)
+{
+    rng a = rng::split(42, 1, 7);
+    rng b = rng::split(42, 1, 7);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitStreamsDivergeAcrossPurposeStepAndSeed)
+{
+    // Every coordinate splits the stream: a shared prefix would mean two
+    // scenario processes (or two steps of one process) see correlated
+    // draws.
+    const auto differs = [](rng x, rng y) {
+        int same = 0;
+        for (int i = 0; i < 64; ++i)
+            if (x.next_u64() == y.next_u64()) ++same;
+        return same < 2;
+    };
+    EXPECT_TRUE(differs(rng::split(42, 1, 7), rng::split(42, 2, 7)));
+    EXPECT_TRUE(differs(rng::split(42, 1, 7), rng::split(42, 1, 8)));
+    EXPECT_TRUE(differs(rng::split(42, 1, 7), rng::split(43, 1, 7)));
+    // And the split streams are disjoint from the legacy direct stream the
+    // static `sample_failures` draws still use.
+    EXPECT_TRUE(differs(rng::split(42, 1, 0), rng(42)));
+}
+
 } // namespace
 } // namespace ssplane
