@@ -15,19 +15,6 @@ namespace ssplane::constellation {
 
 namespace {
 
-/// Satellite ECI unit directions at one instant, sorted by z for fast
-/// latitude-window lookups.
-std::vector<vec3> satellite_directions(std::span<const astro::j2_propagator> orbits,
-                                       const astro::instant& t)
-{
-    std::vector<vec3> dirs;
-    dirs.reserve(orbits.size());
-    for (const auto& orbit : orbits)
-        dirs.push_back(orbit.state_at(t).position_m.normalized());
-    std::sort(dirs.begin(), dirs.end(),
-              [](const vec3& a, const vec3& b) { return a.z < b.z; });
-    return dirs;
-}
 
 /// Is `point` (unit) within central angle `lambda` of any satellite
 /// direction? `dirs` must be sorted by z.

@@ -144,7 +144,7 @@ rgt_sizing size_rgt_track_coverage(const rgt_design& design,
 }
 
 std::vector<satellite> satellites_on_track(const rgt_design& design, int n,
-                                           const astro::instant& epoch)
+                                           [[maybe_unused]] const astro::instant& epoch)
 {
     expects(n >= 1, "need at least one satellite");
 

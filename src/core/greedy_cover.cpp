@@ -210,7 +210,7 @@ ss_design_result greedy_ss_cover(const design_problem& problem,
 }
 
 plane_lower_bounds ss_plane_lower_bounds(const design_problem& problem,
-                                         const ss_design_options& options)
+                                         [[maybe_unused]] const ss_design_options& options)
 {
     plane_lower_bounds bounds;
 

@@ -42,7 +42,8 @@ std::vector<scenario_spec> expand_scenarios(const experiment_plan& plan)
         for (const std::uint64_t seed : plan.seeds) {
             scenario_spec cell = spec;
             cell.scenario.seed = seed;
-            cell.name += "#" + std::to_string(seed);
+            cell.name += '#';
+            cell.name += std::to_string(seed);
             expanded.push_back(std::move(cell));
         }
     }

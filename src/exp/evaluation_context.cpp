@@ -101,6 +101,9 @@ std::size_t evaluation_context::mask_cache_size() const
 void evaluation_context::set_adversary_oracle(const demand::demand_model& demand,
                                               traffic::traffic_sweep_options options)
 {
+    // The used-flag and the oracle pointer share the cache mutex: arming
+    // races against concurrent timeline() lookups otherwise.
+    const std::lock_guard lock(mask_mutex_);
     expects(!adversary_oracle_used_,
             "adversary oracle cannot be re-armed after a greedy_adversary "
             "timeline has been generated; it would disagree with the cache");
@@ -137,13 +140,22 @@ const lsn::failure_timeline& evaluation_context::timeline(
     // duplicate produces the identical timeline and the first insert wins.
     lsn::failure_timeline generated;
     if (scenario.mode == lsn::failure_mode::greedy_adversary) {
-        expects(adversary_demand_ != nullptr,
-                "greedy_adversary scenarios need set_adversary_oracle(demand, "
-                "options) on the evaluation context before the first lookup");
-        adversary_oracle_used_ = true;
+        // Snapshot the oracle under the lock; the flag write must also be
+        // mutex-guarded so it cannot race a concurrent set_adversary_oracle.
+        const demand::demand_model* demand = nullptr;
+        traffic::traffic_sweep_options oracle_options;
+        {
+            const std::lock_guard lock(mask_mutex_);
+            expects(adversary_demand_ != nullptr,
+                    "greedy_adversary scenarios need set_adversary_oracle("
+                    "demand, options) on the evaluation context before the "
+                    "first lookup");
+            adversary_oracle_used_ = true;
+            demand = adversary_demand_;
+            oracle_options = adversary_options_;
+        }
         generated = traffic::generate_adversary_timeline(
-            builder_, offsets_, positions_, scenario, *adversary_demand_,
-            adversary_options_);
+            builder_, offsets_, positions_, scenario, *demand, oracle_options);
     } else {
         generated = lsn::sample_failure_timeline(topology(), scenario, offsets_,
                                                  epoch());

@@ -108,6 +108,7 @@ struct failure_scenario {
     std::vector<double> plane_daily_fluence;
     double horizon_days = 365.25; ///< radiation_poisson: exposure window.
     failure_model_options failure_options{}; ///< radiation/storm: rate map.
+    // DETLINT-ALLOW(validate-coverage): every 64-bit seed is valid.
     std::uint64_t seed = 0;
 
     // --- kessler_cascade ----------------------------------------------

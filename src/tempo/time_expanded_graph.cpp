@@ -97,6 +97,8 @@ time_expanded_graph build_time_expanded_graph_timeline(
 
     // Transmission arcs, step-major, node/adjacency order within a step —
     // the same deterministic order the traffic engine's edge table uses.
+    // DETLINT-ALLOW(unordered-iteration): lookup-only (find/emplace); slots
+    // are appended in deterministic adjacency order, never in map order.
     std::unordered_map<std::uint64_t, int> step_slot;
     for (int i = 0; i < graph.n_steps; ++i) {
         const auto& snap = snapshots[static_cast<std::size_t>(i)];

@@ -20,6 +20,9 @@ constexpr double flow_eps_gbps = 1e-9;
 /// adjacency) order plus a (min,max)-keyed lookup for path walks.
 struct edge_table {
     std::vector<link_load> links;
+    // DETLINT-ALLOW(unordered-iteration): lookup-only (at/emplace); every
+    // walk over the edge set iterates `links`, which is built in
+    // deterministic (node, adjacency) order.
     std::unordered_map<std::uint64_t, int> id;
 
     static std::uint64_t key(int a, int b)

@@ -143,6 +143,9 @@ void parallel_for(std::size_t n,
     for (std::size_t c = 0; c < n_chunks; ++c) {
         const std::size_t begin = c * chunk_size;
         const std::size_t end = std::min(n, begin + chunk_size);
+        // DETLINT-ALLOW(ref-capture-task): `body` outlives every chunk task
+        // — this frame blocks on state->done until `remaining` hits zero —
+        // and is only invoked, never mutated; chunk ranges are disjoint.
         pool.submit([state, &body, begin, end] {
             try {
                 body(begin, end);

@@ -35,7 +35,9 @@ TEST_P(GeodeticRoundTrip, EcefRoundTripsToGeodetic)
     const geodetic g{p.lat, p.lon, p.alt};
     const geodetic back = ecef_to_geodetic(geodetic_to_ecef(g));
     EXPECT_NEAR(back.latitude_deg, p.lat, 1e-7);
-    if (std::abs(p.lat) < 89.9) EXPECT_NEAR(back.longitude_deg, p.lon, 1e-7);
+    if (std::abs(p.lat) < 89.9) {
+        EXPECT_NEAR(back.longitude_deg, p.lon, 1e-7);
+    }
     EXPECT_NEAR(back.altitude_m, p.alt, 1e-3);
 }
 

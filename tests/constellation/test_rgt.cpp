@@ -62,7 +62,9 @@ TEST(Rgt, EnumerationIsCoprimeAndSorted)
     ASSERT_GT(designs.size(), 10u);
     for (std::size_t i = 0; i < designs.size(); ++i) {
         EXPECT_EQ(std::gcd(designs[i].revolutions, designs[i].days), 1);
-        if (i > 0) EXPECT_GE(designs[i].altitude_m, designs[i - 1].altitude_m);
+        if (i > 0) {
+            EXPECT_GE(designs[i].altitude_m, designs[i - 1].altitude_m);
+        }
         EXPECT_GE(designs[i].altitude_m, 400.0e3);
         EXPECT_LE(designs[i].altitude_m, 2100.0e3);
     }

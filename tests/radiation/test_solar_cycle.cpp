@@ -48,7 +48,9 @@ TEST(SolarCycle, SampleDaysProperties)
     for (std::size_t i = 0; i < days.size(); ++i) {
         EXPECT_GE(days[i].julian_date(), solar_cycle24_start().julian_date());
         EXPECT_LE(days[i].julian_date(), solar_cycle24_end().julian_date());
-        if (i > 0) EXPECT_GE(days[i].julian_date(), days[i - 1].julian_date());
+        if (i > 0) {
+            EXPECT_GE(days[i].julian_date(), days[i - 1].julian_date());
+        }
     }
 }
 

@@ -1,0 +1,172 @@
+// detlint check suite: every check must both fire on its positive fixture
+// and go quiet (suppressed, not silent) on its DETLINT-ALLOW fixture — an
+// escape hatch that stops suppressing is as much a regression as a check
+// that stops firing. The tree-level tests then pin the real contract: src/
+// lints clean, and every rng::split purpose stream in the tree is unique.
+#include "detlint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using detlint::finding;
+
+std::vector<finding> lint(const std::string& path,
+                          const std::string& check = {})
+{
+    detlint::options opts;
+    if (!check.empty()) opts.checks.insert(check);
+    return detlint::run({path}, opts);
+}
+
+int count(const std::vector<finding>& findings, const std::string& check,
+          bool suppressed)
+{
+    return static_cast<int>(std::count_if(
+        findings.begin(), findings.end(), [&](const finding& f) {
+            return f.check == check && f.suppressed == suppressed;
+        }));
+}
+
+std::string fixture(const std::string& name)
+{
+    return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+struct check_case {
+    const char* check;
+    const char* fire_fixture;
+    const char* allow_fixture;
+    int min_firings; ///< Distinct hazard shapes the fire fixture encodes.
+};
+
+const check_case cases[] = {
+    {"unordered-iteration", "unordered_iteration_fire.cpp",
+     "unordered_iteration_allow.cpp", 3},
+    {"raw-rng", "raw_rng_fire.cpp", "raw_rng_allow.cpp", 5},
+    {"wall-clock", "wall_clock_fire.cpp", "wall_clock_allow.cpp", 3},
+    {"parallel-accumulation", "parallel_accumulation_fire.cpp",
+     "parallel_accumulation_allow.cpp", 1},
+    {"ref-capture-task", "ref_capture_task_fire.cpp",
+     "ref_capture_task_allow.cpp", 2},
+    {"split-purpose-collision", "split_purpose_collision_fire.cpp",
+     "split_purpose_collision_allow.cpp", 3},
+    {"validate-coverage", "validate_coverage_fire.cpp",
+     "validate_coverage_allow.cpp", 1},
+};
+
+TEST(Detlint, RegistryListsEveryFixturedCheck)
+{
+    const auto& checks = detlint::all_checks();
+    ASSERT_GE(checks.size(), 6u);
+    for (const auto& c : cases) {
+        const bool known =
+            std::any_of(checks.begin(), checks.end(),
+                        [&](const auto& info) { return info.id == c.check; });
+        EXPECT_TRUE(known) << c.check;
+    }
+}
+
+TEST(Detlint, EveryCheckFiresOnItsPositiveFixture)
+{
+    for (const auto& c : cases) {
+        const auto findings = lint(fixture(c.fire_fixture), c.check);
+        EXPECT_GE(count(findings, c.check, /*suppressed=*/false),
+                  c.min_firings)
+            << c.check;
+        EXPECT_EQ(count(findings, c.check, /*suppressed=*/true), 0) << c.check;
+    }
+}
+
+TEST(Detlint, EveryCheckIsSuppressedByItsAllowFixture)
+{
+    for (const auto& c : cases) {
+        const auto findings = lint(fixture(c.allow_fixture), c.check);
+        EXPECT_EQ(count(findings, c.check, /*suppressed=*/false), 0)
+            << c.check;
+        EXPECT_GE(count(findings, c.check, /*suppressed=*/true), 1) << c.check;
+    }
+}
+
+TEST(Detlint, FireFixturesStayScopedToTheirOwnCheck)
+{
+    // A fire fixture may only trip its own check: cross-firing means a
+    // check grew overreach and src/ annotations would stop being targeted.
+    for (const auto& c : cases) {
+        const auto findings = lint(fixture(c.fire_fixture));
+        for (const auto& f : findings)
+            EXPECT_EQ(f.check, c.check)
+                << c.fire_fixture << " also fired " << f.check;
+    }
+}
+
+TEST(Detlint, FindingsAreSortedAndCarryLineNumbers)
+{
+    const auto findings = lint(fixture("raw_rng_fire.cpp"));
+    ASSERT_GE(findings.size(), 2u);
+    for (std::size_t i = 1; i < findings.size(); ++i)
+        EXPECT_LE(findings[i - 1].line, findings[i].line);
+    for (const auto& f : findings) EXPECT_GT(f.line, 0);
+}
+
+TEST(Detlint, AllowWithoutReasonDoesNotSuppress)
+{
+    // The annotation contract requires a non-empty reason; the fire
+    // fixtures carry none, so nothing in them may come back suppressed.
+    for (const auto& c : cases) {
+        const auto findings = lint(fixture(c.fire_fixture));
+        EXPECT_EQ(count(findings, c.check, /*suppressed=*/true), 0) << c.check;
+    }
+}
+
+TEST(Detlint, UnknownPathThrows)
+{
+    EXPECT_THROW(lint(fixture("no_such_fixture.cpp")), std::runtime_error);
+}
+
+// --- Tree-level contract ---------------------------------------------------
+
+TEST(DetlintTree, SrcLintsCleanUnderEveryCheck)
+{
+    const auto findings = lint(SSPLANE_SRC_DIR);
+    std::string report;
+    for (const auto& f : findings)
+        if (!f.suppressed)
+            report += f.file + ":" + std::to_string(f.line) + " [" + f.check +
+                      "] " + f.message + "\n";
+    EXPECT_EQ(report, "");
+}
+
+TEST(DetlintTree, SrcSuppressionsAreFewAndIntentional)
+{
+    // Suppressions are part of the contract surface: a jump in their count
+    // means ALLOW is becoming a reflex instead of a proof. Raise the bound
+    // consciously when adding one.
+    const auto findings = lint(SSPLANE_SRC_DIR);
+    const auto suppressed = static_cast<int>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const finding& f) { return f.suppressed; }));
+    EXPECT_LE(suppressed, 8);
+}
+
+TEST(DetlintTree, RngSplitPurposeStreamsAreUniqueTreeWide)
+{
+    // The guard the split-purpose-collision check exists for: purposes
+    // partition the seed space into independent sub-streams, so any two
+    // streams sharing a value silently correlate unrelated draws. Runs over
+    // src/ as its own named test so a collision fails loudly even if the
+    // aggregate clean-run test is ever filtered out.
+    const auto findings = lint(SSPLANE_SRC_DIR, "split-purpose-collision");
+    std::string report;
+    for (const auto& f : findings)
+        if (!f.suppressed)
+            report += f.file + ":" + std::to_string(f.line) + " " + f.message +
+                      "\n";
+    EXPECT_EQ(report, "");
+}
+
+} // namespace

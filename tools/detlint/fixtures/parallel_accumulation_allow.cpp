@@ -1,0 +1,23 @@
+// Fixture: parallel-accumulation suppressed by DETLINT-ALLOW with a reason.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ssplane {
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t chunk = 0);
+}
+
+long long guarded_count(const std::vector<int>& flags)
+{
+    long long hits = 0;
+    ssplane::parallel_for(flags.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            if (flags[i])
+                // DETLINT-ALLOW(parallel-accumulation): integer count under
+                // an external mutex held by the caller; order-independent.
+                hits += 1;
+    });
+    return hits;
+}

@@ -1,0 +1,10 @@
+// Fixture: raw-rng suppressed by DETLINT-ALLOW with a reason.
+#include <random>
+
+unsigned entropy_probe()
+{
+    // DETLINT-ALLOW(raw-rng): diagnostics-only entropy probe; the value
+    // never reaches any simulation result.
+    std::random_device device;
+    return device();
+}

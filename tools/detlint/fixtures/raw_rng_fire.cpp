@@ -1,0 +1,14 @@
+// Fixture: raw-rng must fire on every non-util/rng randomness source.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int unseeded_noise()
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    std::random_device device;
+    std::mt19937 engine(device());
+    std::default_random_engine fallback;
+    return rand() + static_cast<int>(engine()) +
+           static_cast<int>(fallback());
+}

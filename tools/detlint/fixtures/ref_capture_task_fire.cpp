@@ -1,0 +1,18 @@
+// Fixture: ref-capture-task must fire on by-reference captures handed to
+// raw task primitives (thread_pool::submit, std::thread) and stay quiet on
+// by-value captures.
+#include <functional>
+#include <thread>
+
+struct pool {
+    void submit(std::function<void()> task);
+};
+
+void leak_stack_reference(pool& workers)
+{
+    int counter = 0;
+    workers.submit([&counter] { counter += 1; }); // dangles past this frame
+    workers.submit([counter] { (void)counter; }); // fine: by value
+    std::thread watcher([&] { (void)counter; });  // unjoined by-ref capture
+    watcher.detach();
+}

@@ -1,0 +1,28 @@
+// Fixture: split-purpose-collision suppressed by DETLINT-ALLOW with a
+// reason at both declaration sites.
+#include <cstdint>
+
+namespace ssplane {
+struct rng {
+    static rng split(std::uint64_t seed, std::uint64_t purpose,
+                     std::uint64_t step = 0);
+    double uniform();
+};
+}
+
+namespace legacy {
+// DETLINT-ALLOW(split-purpose-collision): frozen pre-rename alias of
+// current::purpose_cascade; both names must keep replaying old draws.
+constexpr std::uint64_t purpose_cascade_v0 = 3;
+}
+namespace current {
+// DETLINT-ALLOW(split-purpose-collision): same stream as the frozen v0
+// alias above, by design.
+constexpr std::uint64_t purpose_cascade = 3;
+}
+
+double replay(std::uint64_t seed)
+{
+    return ssplane::rng::split(seed, current::purpose_cascade).uniform() +
+           ssplane::rng::split(seed, legacy::purpose_cascade_v0).uniform();
+}

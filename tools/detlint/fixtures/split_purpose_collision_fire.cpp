@@ -1,0 +1,26 @@
+// Fixture: split-purpose-collision must fire when two named purpose
+// streams share a value and when an inline literal aliases a named one.
+#include <cstdint>
+
+namespace ssplane {
+struct rng {
+    static rng split(std::uint64_t seed, std::uint64_t purpose,
+                     std::uint64_t step = 0);
+    double uniform();
+};
+}
+
+namespace cascade {
+constexpr std::uint64_t purpose_debris = 7;
+}
+namespace storm {
+constexpr std::uint64_t purpose_flux = 7; // collides with purpose_debris
+}
+
+double correlated_draws(std::uint64_t seed)
+{
+    auto a = ssplane::rng::split(seed, cascade::purpose_debris);
+    auto b = ssplane::rng::split(seed, storm::purpose_flux);
+    auto c = ssplane::rng::split(seed, 7); // literal aliasing both
+    return a.uniform() + b.uniform() + c.uniform();
+}

@@ -1,0 +1,12 @@
+// Fixture: unordered-iteration suppressed by DETLINT-ALLOW with a reason.
+#include <unordered_map>
+
+int lookup_only(int key)
+{
+    // DETLINT-ALLOW(unordered-iteration): lookup-only cache; results never
+    // depend on iteration order.
+    std::unordered_map<int, int> cache;
+    cache.emplace(key, key * 2);
+    const auto it = cache.find(key);
+    return it == cache.end() ? 0 : it->second;
+}

@@ -1,0 +1,22 @@
+// Fixture: unordered-iteration must fire on the declaration, the range-for
+// and the iterator walk.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double sum_values(const std::unordered_map<int, double>& unused);
+
+double order_leak()
+{
+    std::unordered_map<int, double> by_id;
+    by_id.emplace(1, 0.5);
+    std::unordered_set<int> members;
+    members.insert(7);
+
+    double total = 0.0;
+    std::vector<int> order;
+    for (const auto& [id, value] : by_id) total += value; // order-sensitive
+    for (auto it = members.begin(); it != members.end(); ++it)
+        order.push_back(*it);
+    return total + static_cast<double>(order.size());
+}

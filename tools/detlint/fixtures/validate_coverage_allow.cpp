@@ -1,0 +1,19 @@
+// Fixture: validate-coverage suppressed by DETLINT-ALLOW with a reason.
+#include <cmath>
+#include <stdexcept>
+
+namespace fixture {
+
+struct sweep_options {
+    double step_s = 60.0;
+    // DETLINT-ALLOW(validate-coverage): any 64-bit seed is valid.
+    unsigned long long seed = 0;
+};
+
+void validate(const sweep_options& options)
+{
+    if (!(std::isfinite(options.step_s) && options.step_s > 0.0))
+        throw std::invalid_argument("step must be positive");
+}
+
+} // namespace fixture

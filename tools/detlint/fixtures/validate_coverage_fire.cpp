@@ -1,0 +1,22 @@
+// Fixture: validate-coverage must fire on the struct field no validate()
+// overload ever mentions, and stay quiet on the covered ones.
+#include <cmath>
+#include <stdexcept>
+
+namespace fixture {
+
+struct sweep_options {
+    double step_s = 60.0;
+    int max_rounds = 4;
+    double drop_threshold = 0.5; // never validated: must fire
+};
+
+void validate(const sweep_options& options)
+{
+    if (!(std::isfinite(options.step_s) && options.step_s > 0.0))
+        throw std::invalid_argument("step must be positive");
+    if (options.max_rounds < 1)
+        throw std::invalid_argument("need at least one round");
+}
+
+} // namespace fixture

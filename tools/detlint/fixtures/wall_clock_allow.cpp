@@ -1,0 +1,10 @@
+// Fixture: wall-clock suppressed by DETLINT-ALLOW with a reason.
+#include <chrono>
+
+long long bench_timestamp()
+{
+    // DETLINT-ALLOW(wall-clock): bench harness timing only; never feeds a
+    // simulation result.
+    const auto start = std::chrono::steady_clock::now();
+    return start.time_since_epoch().count();
+}

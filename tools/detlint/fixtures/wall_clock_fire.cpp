@@ -1,0 +1,12 @@
+// Fixture: wall-clock must fire on chrono ::now() and clock() reads.
+#include <chrono>
+#include <ctime>
+
+double jittered_epoch()
+{
+    const auto now = std::chrono::system_clock::now();
+    const auto tick = std::chrono::steady_clock::now();
+    const double cpu = static_cast<double>(clock());
+    return static_cast<double>(now.time_since_epoch().count()) +
+           static_cast<double>(tick.time_since_epoch().count()) + cpu;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the repo's clang-tidy baseline (.clang-tidy) over src/ and
+# tools/detlint/ (fixtures excluded: they are deliberately pathological
+# lint inputs, not shipped code).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json; one is configured on the
+# fly into build-tidy/ when absent. Exits 0 with a notice when clang-tidy
+# is not installed, so local runs on minimal toolchains degrade gracefully
+# — the clang-tidy CI leg installs it and is the enforcement point.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+    for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                     clang-tidy-15 clang-tidy-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            tidy_bin="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$tidy_bin" ]]; then
+    echo "run_clang_tidy: clang-tidy not found on PATH; skipping (the CI" \
+         "clang-tidy leg enforces the baseline)" >&2
+    exit 0
+fi
+
+if [[ -z "$build_dir" ]]; then
+    build_dir="$repo_root/build-tidy"
+    cmake -S "$repo_root" -B "$build_dir" \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "run_clang_tidy: $build_dir has no compile_commands.json;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools/detlint" \
+                            -name '*.cpp' -not -path '*/fixtures/*' | sort)
+
+echo "run_clang_tidy: $tidy_bin over ${#sources[@]} files" >&2
+"$tidy_bin" -p "$build_dir" --quiet "${sources[@]}"
+echo "run_clang_tidy: clean" >&2
