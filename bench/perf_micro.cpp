@@ -22,6 +22,7 @@
 #include "geo/coverage.h"
 #include "lsn/routing.h"
 #include "lsn/scenario.h"
+#include "obs/trace.h"
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
 #include "tempo/bulk_router.h"
@@ -267,8 +268,11 @@ bulk_bench_inputs& bench_bulk_inputs()
         for (const auto& pos : positions)
             in.snapshots.push_back(builder.snapshot_from_positions(pos));
         in.options.sat_buffer_gb = 256.0;
-        // Volume pulses past single-step path capacity, so the solver has to
-        // water-fill across many (link, step) residuals per request.
+        // At this volume the day grid is UNcontended: both contenders
+        // deliver 100% (raise the pulses ~10x and the per-step greedy keeps
+        // delivering while the expanded solver hits the 256 GB buffer cap).
+        // The pair therefore measures solver cost, not delivery quality —
+        // see the note on bm_bulk_route_per_step_floor.
         for (int g = 0; g < 12; ++g)
             in.requests.push_back({g, (g + 6) % 12, 2.0e5, 0.0, 86400.0});
         in.graph = tempo::build_time_expanded_graph(in.snapshots, in.offsets, {},
@@ -292,10 +296,19 @@ void bm_bulk_route(benchmark::State& state)
 }
 BENCHMARK(bm_bulk_route)->Unit(benchmark::kMillisecond);
 
-void bm_bulk_route_baseline(benchmark::State& state)
+void bm_bulk_route_per_step_floor(benchmark::State& state)
 {
-    // The naive route to the same question: replay the per-snapshot greedy
+    // Per-epoch replication floor: replay the per-snapshot greedy
     // (`assign_flows`) on every epoch's remaining volumes, no buffering.
+    //
+    // Unlike the other *_baseline pairs this is NOT a slower route to the
+    // same answer — it is a cheaper solver for a weaker model, and on this
+    // uncontended fixture it is ~1.4x FASTER than bm_bulk_route (the
+    // expanded solver walks 25 layers of residual time-expanded arcs per
+    // augmentation; the floor runs one small Dijkstra pass per step). The
+    // expanded solver earns its cost only when buffering matters: under
+    // contention or outages it delivers volume the floor cannot move at
+    // all (see the sf_gain column in the network_day failure table).
     const auto& in = bench_bulk_inputs();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -304,7 +317,7 @@ void bm_bulk_route_baseline(benchmark::State& state)
                 .delivered_gb);
     }
 }
-BENCHMARK(bm_bulk_route_baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_bulk_route_per_step_floor)->Unit(benchmark::kMillisecond);
 
 /// Shared fixture of the campaign benches: a 24x24 Walker grid, 6 gateways,
 /// a half-hourly day grid, four failure scenarios and the three metric
@@ -389,6 +402,26 @@ void bm_campaign(benchmark::State& state)
     }
 }
 BENCHMARK(bm_campaign)->Unit(benchmark::kMillisecond);
+
+void bm_instrumented_campaign(benchmark::State& state)
+{
+    // bm_campaign with the full observability stack hot: counters always
+    // run; this also turns the runtime tracing gate on, so every span
+    // records timestamps into the per-thread buffers. The delta vs
+    // bm_campaign is the all-in instrumentation overhead (acceptance bar:
+    // within a few percent).
+    const auto& in = bench_campaign_inputs();
+    for (auto _ : state) {
+        obs::trace_reset();
+        obs::set_tracing_enabled(true);
+        const exp::evaluation_context context(in.topo, in.stations,
+                                              astro::instant::j2000(), in.grid);
+        benchmark::DoNotOptimize(exp::run_campaign(in.plan, context).cells.size());
+        obs::set_tracing_enabled(false);
+    }
+    obs::trace_reset();
+}
+BENCHMARK(bm_instrumented_campaign)->Unit(benchmark::kMillisecond);
 
 void bm_campaign_separate_baseline(benchmark::State& state)
 {

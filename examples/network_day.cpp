@@ -13,7 +13,14 @@
 // Usage: network_day [--bandwidth=10] [--sweep-step=1800] [--seed=1]
 //                    [--offered-gbps=2000] [--bulk-gb=500000]
 //                    [--buffer-gb=25000] [--bulk-deadline-h=6]
+//                    [--trace=out.json] [--metrics[=out.csv]]
+//
+// --trace=FILE records phase spans across the whole run and writes a Chrome
+// trace-event JSON (load it at ui.perfetto.dev) plus a per-phase wall/self
+// summary on stdout. --metrics dumps the counter registry as CSV, to FILE
+// when given a value, else to stdout.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -24,6 +31,8 @@
 #include "exp/campaign.h"
 #include "lsn/scenario.h"
 #include "lsn/simulator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "radiation/fluence.h"
 #include "radiation/solar_cycle.h"
 #include "traffic/traffic_sweep.h"
@@ -38,6 +47,11 @@ int main(int argc, char** argv)
 {
     const cli_args args(argc, argv);
     const double bandwidth = args.get_double("bandwidth", 10.0);
+    const std::string trace_path = args.get("trace", "");
+    if (!trace_path.empty()) {
+        obs::trace_reset();
+        obs::set_tracing_enabled(true);
+    }
 
     std::cout << "=== SS network, 24-hour simulation ===\n";
 
@@ -322,5 +336,45 @@ int main(int argc, char** argv)
     // counterpart of the scalar table above.
     std::cout << "\nper-step campaign CSV (scenario x step -> trace columns):\n";
     campaign.write_step_csv(std::cout);
+
+    // Cache telemetry the campaign collected while it ran: how much work
+    // the shared context actually saved.
+    std::cout << "\ncontext cache telemetry:\n"
+              << "  mask cache: " << campaign.cache.mask_hits << " hits / "
+              << campaign.cache.mask_misses << " misses (hit rate "
+              << format_number(campaign.cache.mask_hit_rate(), 4) << ")\n"
+              << "  timeline cache: " << campaign.cache.timeline_hits
+              << " hits / " << campaign.cache.timeline_misses
+              << " misses (hit rate "
+              << format_number(campaign.cache.timeline_hit_rate(), 4) << ")\n"
+              << "  snapshot rebuilds: " << campaign.snapshot_builds << "\n";
+
+    if (!trace_path.empty()) {
+        obs::set_tracing_enabled(false);
+        std::ofstream trace_out(trace_path);
+        if (!trace_out) {
+            std::cerr << "cannot write trace file: " << trace_path << "\n";
+            return 1;
+        }
+        obs::write_chrome_trace(trace_out);
+        std::cout << "\nwrote Chrome trace (" << obs::trace_snapshot().size()
+                  << " spans) to " << trace_path << "\nphase summary:\n";
+        obs::write_phase_summary(std::cout);
+    }
+    if (args.has("metrics")) {
+        const std::string metrics_path = args.get("metrics", "");
+        if (metrics_path.empty()) {
+            std::cout << "\nmetrics registry:\n";
+            obs::write_metrics_csv(std::cout);
+        } else {
+            std::ofstream metrics_out(metrics_path);
+            if (!metrics_out) {
+                std::cerr << "cannot write metrics file: " << metrics_path << "\n";
+                return 1;
+            }
+            obs::write_metrics_csv(metrics_out);
+            std::cout << "\nwrote metrics CSV to " << metrics_path << "\n";
+        }
+    }
     return 0;
 }

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/expects.h"
 #include "util/parallel.h"
@@ -77,7 +79,24 @@ void campaign_result::write_csv(std::ostream& out) const
                                     "planes_attacked", "horizon_days", "seed",
                                     "n_failed"};
     header.insert(header.end(), columns.begin(), columns.end());
+    // Campaign-constant cache-telemetry summary columns, trailing so the
+    // per-row metric layout is untouched.
+    const std::vector<std::string> ctx_header{
+        "ctx.mask_cache_hits",     "ctx.mask_cache_misses",
+        "ctx.mask_cache_hit_rate", "ctx.timeline_cache_hits",
+        "ctx.timeline_cache_misses", "ctx.timeline_cache_hit_rate",
+        "ctx.snapshot_builds"};
+    header.insert(header.end(), ctx_header.begin(), ctx_header.end());
     csv_writer csv(out, std::move(header));
+
+    const std::vector<std::string> ctx_cells{
+        std::to_string(cache.mask_hits),
+        std::to_string(cache.mask_misses),
+        format_number(cache.mask_hit_rate()),
+        std::to_string(cache.timeline_hits),
+        std::to_string(cache.timeline_misses),
+        format_number(cache.timeline_hit_rate()),
+        std::to_string(snapshot_builds)};
 
     for (std::size_t r = 0; r < rows.size(); ++r) {
         const auto& row = rows[r];
@@ -92,6 +111,7 @@ void campaign_result::write_csv(std::ostream& out) const
         for (int e = 0; e < n_engines; ++e)
             for (const double v : cell(static_cast<int>(r), e).values)
                 cells_text.push_back(format_number(v));
+        cells_text.insert(cells_text.end(), ctx_cells.begin(), ctx_cells.end());
         csv.row_text(cells_text);
     }
 }
@@ -134,6 +154,13 @@ void campaign_result::write_step_csv(std::ostream& out) const
 campaign_result run_campaign(const experiment_plan& plan,
                              const evaluation_context& context)
 {
+    OBS_SPAN("campaign.run");
+    OBS_COUNT("exp.campaign.runs");
+    const cache_statistics cache_before = context.cache_stats();
+#ifndef SSPLANE_OBS_DISABLED
+    const std::uint64_t snapshot_builds_before =
+        obs::registry::instance().get_counter("lsn.snapshot.builds").value();
+#endif
     expects(!plan.scenarios.empty(), "campaign needs at least one scenario");
     expects(!plan.engines.empty(), "campaign needs at least one metric engine");
     for (const auto& engine : plan.engines) {
@@ -188,10 +215,14 @@ campaign_result run_campaign(const experiment_plan& plan,
     std::vector<const lsn::failure_timeline*> timelines;
     timelines.reserve(expanded.size());
     result.rows.reserve(expanded.size());
-    for (const auto& spec : expanded) {
-        const auto& timeline = context.timeline(spec.scenario);
-        timelines.push_back(&timeline);
-        result.rows.push_back({spec.name, spec.scenario, timeline.final_n_failed()});
+    {
+        OBS_SPAN("campaign.prefetch_timelines");
+        for (const auto& spec : expanded) {
+            const auto& timeline = context.timeline(spec.scenario);
+            timelines.push_back(&timeline);
+            result.rows.push_back(
+                {spec.name, spec.scenario, timeline.final_n_failed()});
+        }
     }
 
     // Cells sharing (timeline, engine) are bit-identical by each engine's
@@ -217,6 +248,9 @@ campaign_result run_campaign(const experiment_plan& plan,
     // bit-for-bit (engines nested inside a worker degrade to their serial
     // path, which is bit-identical by each engine's own contract).
     result.cells.resize(n_cells);
+    OBS_COUNT_N("exp.campaign.cells", n_cells);
+    OBS_COUNT_N("exp.campaign.cells_unique", unique_cells.size());
+    OBS_COUNT_N("exp.campaign.cells_deduped", n_cells - unique_cells.size());
     parallel_for(
         unique_cells.size(),
         [&](std::size_t begin, std::size_t end) {
@@ -224,12 +258,26 @@ campaign_result run_campaign(const experiment_plan& plan,
                 const std::size_t i = unique_cells[u];
                 const std::size_t row = i / static_cast<std::size_t>(result.n_engines);
                 const std::size_t e = i % static_cast<std::size_t>(result.n_engines);
+#ifndef SSPLANE_OBS_DISABLED
+                // Per-cell span named by engine so the trace shows which
+                // metric the time went to.
+                const obs::span cell_span("campaign.cell." +
+                                          result.engine_names[e]);
+#endif
                 result.cells[i] = plan.engines[e]->evaluate(context, *timelines[row]);
             }
         },
         /*chunk_size=*/1);
     for (std::size_t i = 0; i < n_cells; ++i)
         if (computed_as[i] != i) result.cells[i] = result.cells[computed_as[i]];
+
+    result.cache = context.cache_stats() - cache_before;
+#ifndef SSPLANE_OBS_DISABLED
+    result.snapshot_builds =
+        obs::registry::instance().get_counter("lsn.snapshot.builds").value() -
+        snapshot_builds_before;
+    OBS_COUNT_N("exp.snapshot.rebuilds", result.snapshot_builds);
+#endif
 
     // Third-party engines must honour their own column contract — a
     // mismatched cell would silently misalign `value()` and `write_csv`.

@@ -72,6 +72,15 @@ struct campaign_result {
     std::vector<std::shared_ptr<const metric_engine>> engines;
     /// The context's sweep time grid, echoed into the step CSV.
     std::vector<double> step_offsets_s;
+    /// Evaluation-context cache telemetry of THIS run: the delta of the
+    /// context's cumulative `cache_stats()` across `run_campaign`, so a
+    /// reused context reports only what this campaign did. Echoed into
+    /// `write_csv` as the trailing `ctx.*` summary columns.
+    cache_statistics cache;
+    /// Snapshots built while evaluating this campaign's cells (the
+    /// quantity the ROADMAP's snapshot-sharing follow-up wants to cut).
+    /// Counted via the obs registry — 0 when built with -DSSPLANE_OBS=OFF.
+    std::uint64_t snapshot_builds = 0;
 
     /// Index of the engine with this name — the robust way to address
     /// cells (engine order in the plan is not part of the API contract).
@@ -94,7 +103,10 @@ struct campaign_result {
     double value(int row, std::string_view column) const;
 
     /// CSV table via `util/csv`: scenario axes (name, mode, knobs, seed,
-    /// n_failed) followed by every flattened metric column.
+    /// n_failed) followed by every flattened metric column, then the
+    /// campaign-constant `ctx.*` cache-telemetry summary columns
+    /// (hits/misses/hit rate per cache, snapshot builds) repeated on every
+    /// row so sliced exports keep their provenance.
     void write_csv(std::ostream& out) const;
 
     /// Per-step degradation-trajectory table: one line per (scenario,

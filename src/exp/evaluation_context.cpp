@@ -1,9 +1,18 @@
 #include "exp/evaluation_context.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "traffic/adversary.h"
 #include "util/expects.h"
 
 namespace ssplane::exp {
+
+cache_statistics operator-(const cache_statistics& a, const cache_statistics& b)
+{
+    return {a.mask_hits - b.mask_hits, a.mask_misses - b.mask_misses,
+            a.timeline_hits - b.timeline_hits,
+            a.timeline_misses - b.timeline_misses};
+}
 
 evaluation_context::evaluation_context(const lsn::lsn_topology& topology,
                                        std::vector<lsn::ground_station> stations,
@@ -11,10 +20,14 @@ evaluation_context::evaluation_context(const lsn::lsn_topology& topology,
                                        const lsn::scenario_sweep_options& grid)
     : grid_(grid),
       builder_(topology, std::move(stations), epoch, grid.min_elevation_rad,
-               grid.max_isl_range_m),
-      offsets_(lsn::sweep_offsets(grid.duration_s, grid.step_s)),
-      positions_(builder_.positions_at_offsets(offsets_))
+               grid.max_isl_range_m)
 {
+    // The batched propagation pass is the expensive part of construction;
+    // run it in the body so the span covers it.
+    OBS_SPAN("exp.context.build");
+    OBS_COUNT("exp.context.builds");
+    offsets_ = lsn::sweep_offsets(grid.duration_s, grid.step_s);
+    positions_ = builder_.positions_at_offsets(offsets_);
 }
 
 evaluation_context::mask_key evaluation_context::key_of(
@@ -82,11 +95,18 @@ const std::vector<std::uint8_t>& evaluation_context::failure_mask(
     {
         const std::lock_guard lock(mask_mutex_);
         const auto it = masks_.find(key);
-        if (it != masks_.end()) return it->second;
+        if (it != masks_.end()) {
+            mask_hits_.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("exp.mask_cache.hit");
+            return it->second;
+        }
     }
+    mask_misses_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNT("exp.mask_cache.miss");
     // Draw outside the lock (the draw can be expensive on large
     // constellations); it is deterministic, so a racing duplicate draw
     // produces the identical mask and the first insert wins harmlessly.
+    OBS_SPAN("exp.mask_draw");
     auto mask = lsn::sample_failures(topology(), scenario);
     const std::lock_guard lock(mask_mutex_);
     return masks_.emplace(std::move(key), std::move(mask)).first->second;
@@ -122,7 +142,13 @@ const lsn::failure_timeline& evaluation_context::timeline(
         auto key = key_of(scenario);
         const std::lock_guard lock(mask_mutex_);
         const auto it = timelines_.find(key);
-        if (it != timelines_.end()) return it->second;
+        if (it != timelines_.end()) {
+            timeline_hits_.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("exp.timeline_cache.hit");
+            return it->second;
+        }
+        timeline_misses_.fetch_add(1, std::memory_order_relaxed);
+        OBS_COUNT("exp.timeline_cache.miss");
         return timelines_
             .emplace(std::move(key), lsn::failure_timeline::from_static_mask(mask))
             .first->second;
@@ -133,8 +159,15 @@ const lsn::failure_timeline& evaluation_context::timeline(
     {
         const std::lock_guard lock(mask_mutex_);
         const auto it = timelines_.find(key);
-        if (it != timelines_.end()) return it->second;
+        if (it != timelines_.end()) {
+            timeline_hits_.fetch_add(1, std::memory_order_relaxed);
+            OBS_COUNT("exp.timeline_cache.hit");
+            return it->second;
+        }
     }
+    timeline_misses_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNT("exp.timeline_cache.miss");
+    OBS_SPAN("exp.timeline_generate");
     // Generate outside the lock (the adversary oracle in particular runs
     // full traffic sweeps); generation is deterministic, so a racing
     // duplicate produces the identical timeline and the first insert wins.
@@ -168,6 +201,14 @@ std::size_t evaluation_context::timeline_cache_size() const
 {
     const std::lock_guard lock(mask_mutex_);
     return timelines_.size();
+}
+
+cache_statistics evaluation_context::cache_stats() const noexcept
+{
+    return {mask_hits_.load(std::memory_order_relaxed),
+            mask_misses_.load(std::memory_order_relaxed),
+            timeline_hits_.load(std::memory_order_relaxed),
+            timeline_misses_.load(std::memory_order_relaxed)};
 }
 
 } // namespace ssplane::exp

@@ -25,6 +25,7 @@
 #ifndef SSPLANE_EXP_EVALUATION_CONTEXT_H
 #define SSPLANE_EXP_EVALUATION_CONTEXT_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -35,6 +36,41 @@
 #include "traffic/traffic_sweep.h"
 
 namespace ssplane::exp {
+
+/// Cumulative cache telemetry of one `evaluation_context`: lookup outcomes
+/// of the failure-mask and failure-timeline caches. Counted with plain
+/// atomics on the context itself (available regardless of the SSPLANE_OBS
+/// build option) and mirrored into the obs metrics registry as
+/// `exp.mask_cache.hit/miss` and `exp.timeline_cache.hit/miss`. Racing
+/// first lookups each count one miss — every racer pays the (deterministic)
+/// generation, the cache keeps one copy.
+struct cache_statistics {
+    std::uint64_t mask_hits = 0;
+    std::uint64_t mask_misses = 0;
+    std::uint64_t timeline_hits = 0;
+    std::uint64_t timeline_misses = 0;
+
+    double mask_hit_rate() const noexcept
+    {
+        const std::uint64_t total = mask_hits + mask_misses;
+        return total > 0 ? static_cast<double>(mask_hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+    double timeline_hit_rate() const noexcept
+    {
+        const std::uint64_t total = timeline_hits + timeline_misses;
+        return total > 0 ? static_cast<double>(timeline_hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+
+    friend bool operator==(const cache_statistics&,
+                           const cache_statistics&) = default;
+};
+
+/// a - b, component-wise: the telemetry delta across one campaign run.
+cache_statistics operator-(const cache_statistics& a, const cache_statistics& b);
 
 class evaluation_context {
 public:
@@ -86,6 +122,11 @@ public:
     /// Distinct timelines generated so far (observability for dedup tests).
     std::size_t timeline_cache_size() const;
 
+    /// Cumulative hit/miss telemetry of both caches since construction.
+    /// `run_campaign` snapshots this before and after to report the
+    /// per-campaign delta in `campaign_result`.
+    cache_statistics cache_stats() const noexcept;
+
     /// Arm the greedy adversary: the demand model and traffic knobs its
     /// delivered-traffic oracle scores strikes against. The demand model
     /// must outlive the context. Call before the first `greedy_adversary`
@@ -123,6 +164,12 @@ private:
     mutable std::mutex mask_mutex_;
     mutable std::map<mask_key, std::vector<std::uint8_t>> masks_;
     mutable std::map<mask_key, lsn::failure_timeline> timelines_;
+    // Cache telemetry (see cache_statistics). Relaxed: counts only, no
+    // ordering is implied against the cache contents.
+    mutable std::atomic<std::uint64_t> mask_hits_{0};
+    mutable std::atomic<std::uint64_t> mask_misses_{0};
+    mutable std::atomic<std::uint64_t> timeline_hits_{0};
+    mutable std::atomic<std::uint64_t> timeline_misses_{0};
 };
 
 } // namespace ssplane::exp

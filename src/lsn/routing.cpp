@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/expects.h"
 
 namespace ssplane::lsn {
@@ -25,6 +26,9 @@ constexpr int all_ground_nodes = -2;
 void dijkstra(const network_snapshot& snapshot, int src_node, int dst_node,
               std::vector<double>& dist, std::vector<int>& prev)
 {
+    // Every routing query in the stack funnels through here, so this one
+    // counter is the per-campaign "how many shortest-path solves" figure.
+    OBS_COUNT("lsn.dijkstra.runs");
     const auto n = snapshot.adjacency.size();
     dist.assign(n, inf);
     prev.assign(n, -1);

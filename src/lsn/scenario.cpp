@@ -7,6 +7,8 @@
 
 #include "astro/constants.h"
 #include "lsn/routing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "radiation/solar_cycle.h"
 #include "util/expects.h"
 #include "util/parallel.h"
@@ -84,6 +86,8 @@ network_snapshot snapshot_builder::snapshot(
 std::vector<std::vector<vec3>> snapshot_builder::positions_at_offsets(
     std::span<const double> offsets_s) const
 {
+    OBS_SPAN("lsn.propagate");
+    OBS_COUNT("lsn.propagation_passes");
     const std::size_t n_steps = offsets_s.size();
     const std::size_t n_sats = propagators_.size();
     std::vector<double> gmst(n_steps);
@@ -106,6 +110,10 @@ network_snapshot snapshot_builder::snapshot_from_positions(
     const std::vector<vec3>& sat_positions_ecef,
     std::span<const std::uint8_t> failed) const
 {
+    // Rebuild count + time: the figure the ROADMAP's per-mask snapshot
+    // sharing wants to cut (campaigns rebuild per (cell, step) today).
+    OBS_SPAN("lsn.snapshot.build");
+    OBS_COUNT("lsn.snapshot.builds");
     expects(sat_positions_ecef.size() == propagators_.size(),
             "positions/satellite count mismatch");
     expects(failed.empty() || failed.size() == propagators_.size(),
@@ -623,6 +631,9 @@ scenario_sweep_result run_scenario_sweep_timeline(
     const std::vector<std::vector<vec3>>& positions,
     const failure_timeline& timeline)
 {
+    OBS_SPAN("lsn.scenario_sweep");
+    OBS_COUNT("lsn.sweep.runs");
+    OBS_COUNT_N("lsn.sweep.steps", offsets_s.size());
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
     validate(timeline);

@@ -1,0 +1,16 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace ssplane::obs {
+
+std::uint64_t now_ns() noexcept
+{
+    // steady_clock: immune to NTP steps; span durations must never go
+    // negative. This is the only wall-clock read in the whole of src/.
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+} // namespace ssplane::obs

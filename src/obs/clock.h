@@ -1,0 +1,24 @@
+// The ONE sanctioned wall-clock module.
+//
+// The determinism contract bans wall-clock reads everywhere in src/ (the
+// detlint `wall-clock` check enforces it lexically): simulation results
+// must be pure functions of their inputs. Instrumentation timing is the
+// single legitimate exception — span timestamps feed traces and profiles,
+// never results. All of it is quarantined here so the exemption stays
+// auditable: detlint path-exempts exactly `obs/clock.{h,cpp}` and nothing
+// else, and nothing outside src/obs may call `now_ns()` directly.
+#ifndef SSPLANE_OBS_CLOCK_H
+#define SSPLANE_OBS_CLOCK_H
+
+#include <cstdint>
+
+namespace ssplane::obs {
+
+/// Monotonic timestamp in nanoseconds from an arbitrary process-local
+/// origin. Only meaningful as a difference against another `now_ns()` from
+/// the same process; never derived from calendar time.
+std::uint64_t now_ns() noexcept;
+
+} // namespace ssplane::obs
+
+#endif // SSPLANE_OBS_CLOCK_H

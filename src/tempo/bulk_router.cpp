@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/expects.h"
 
 namespace ssplane::tempo {
@@ -74,6 +76,8 @@ bulk_route_result finalize(std::vector<bulk_transfer_result> requests,
 bulk_route_result route_bulk_transfers(time_expanded_graph& graph,
                                        std::span<const bulk_transfer_request> requests)
 {
+    OBS_SPAN("tempo.bulk.route");
+    OBS_COUNT("tempo.bulk.route_calls");
     validate_requests(graph.n_ground, requests);
     const int n_nodes = graph.n_nodes();
     const int n_time_nodes = graph.n_time_nodes();
@@ -174,6 +178,7 @@ bulk_route_result route_bulk_transfers(time_expanded_graph& graph,
             out.delivered_gb += bottleneck;
             out.completion_s = graph.step_end_s(graph.step_of(arrived_tn));
             ++out.n_paths;
+            OBS_COUNT("tempo.bulk.augmentations");
         }
         out.delivered_fraction = out.delivered_gb / out.volume_gb;
         out.complete = remaining <= volume_eps_gb;
@@ -187,6 +192,7 @@ bulk_route_result route_bulk_transfers_per_step_baseline(
     std::span<const bulk_transfer_request> requests,
     const bulk_route_options& options)
 {
+    OBS_SPAN("tempo.bulk.per_step_baseline");
     validate(options);
     expects(!snapshots.empty() && snapshots.size() == offsets_s.size(),
             "need one offset per snapshot");

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/expects.h"
 #include "util/parallel.h"
 
@@ -74,6 +76,8 @@ time_expanded_graph build_time_expanded_graph_timeline(
     std::span<const double> offsets_s, const lsn::failure_timeline& timeline,
     const bulk_route_options& options)
 {
+    OBS_SPAN("tempo.graph.build");
+    OBS_COUNT("tempo.graph.builds");
     validate(options);
     expects(!snapshots.empty(), "need at least one snapshot");
     expects(snapshots.size() == offsets_s.size(),
@@ -170,6 +174,7 @@ time_expanded_graph build_time_expanded_graph_timeline(
     graph.arcs.reserve(static_cast<std::size_t>(graph.arc_begin.back()));
     for (const auto& list : adjacency)
         graph.arcs.insert(graph.arcs.end(), list.begin(), list.end());
+    OBS_COUNT_N("tempo.graph.arcs", graph.arcs.size());
     return graph;
 }
 

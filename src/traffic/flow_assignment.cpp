@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "lsn/routing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/expects.h"
 #include "util/stats.h"
 
@@ -144,6 +146,8 @@ flow_result run_rounds(const lsn::network_snapshot& snapshot,
                        const capacity_options& options, bool rebuild_per_pair,
                        RoutePair&& route_pair)
 {
+    OBS_SPAN("traffic.assign");
+    OBS_COUNT("traffic.assign.calls");
     expects(matrix.n_stations == snapshot.n_ground,
             "traffic matrix does not match snapshot ground set");
     validate(options);
@@ -168,6 +172,7 @@ flow_result run_rounds(const lsn::network_snapshot& snapshot,
     double total_remaining = offered;
     for (int round = 0; round < options.k_rounds && total_remaining > flow_eps_gbps;
          ++round) {
+        OBS_COUNT("traffic.assign.rounds");
         double round_flow = 0.0;
         lsn::network_snapshot weights;
         if (!rebuild_per_pair) weights = make_weight_graph(snapshot, table, options);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "traffic/adversary.h"
 #include "util/expects.h"
 #include "util/parallel.h"
@@ -53,6 +55,9 @@ traffic_sweep_result run_traffic_sweep_timeline(
     const lsn::failure_timeline& timeline, const demand::demand_model& demand,
     const traffic_sweep_options& options)
 {
+    OBS_SPAN("traffic.sweep");
+    OBS_COUNT("traffic.sweep.runs");
+    OBS_COUNT_N("traffic.sweep.steps", offsets_s.size());
     expects(positions.size() == offsets_s.size(),
             "positions must cover every sweep offset");
     lsn::validate(timeline);

@@ -1,5 +1,8 @@
 #include "util/parallel.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -54,6 +57,10 @@ public:
         {
             const std::lock_guard lock(mutex_);
             tasks_.push_back(std::move(task));
+            // Scheduler telemetry: how deep the queue got before workers
+            // drained it. Depends on timing, hence _SCHED.
+            OBS_COUNT_SCHED("pool.tasks");
+            OBS_RECORD_SCHED("pool.queue_depth", tasks_.size());
         }
         wake_.notify_one();
     }
@@ -66,12 +73,18 @@ private:
             std::function<void()> task;
             {
                 std::unique_lock lock(mutex_);
+                // A worker that finds the queue empty is about to block —
+                // count the wait (idle-worker telemetry, timing-dependent).
+                if (!stopping_ && tasks_.empty()) OBS_COUNT_SCHED("pool.steal_waits");
                 wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
                 if (stopping_ && tasks_.empty()) return;
                 task = std::move(tasks_.front());
                 tasks_.pop_front();
             }
-            task();
+            {
+                OBS_SPAN("pool.task");
+                task();
+            }
         }
     }
 
@@ -128,6 +141,10 @@ void parallel_for(std::size_t n,
 
     const unsigned workers = thread_count();
     const std::size_t n_chunks = (n + chunk_size - 1) / chunk_size;
+    // Chunk geometry is thread-count-invariant by construction, so these
+    // two are deterministic; everything about which thread ran what is not.
+    OBS_COUNT("pool.parallel_regions");
+    OBS_COUNT_N("pool.chunks", n_chunks);
     if (workers <= 1 || t_in_worker || n_chunks == 1) {
         // Serial path visits the same chunk boundaries the pool would, so a
         // body keyed on chunk begin behaves identically either way.

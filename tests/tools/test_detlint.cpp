@@ -123,6 +123,25 @@ TEST(Detlint, AllowWithoutReasonDoesNotSuppress)
     }
 }
 
+TEST(Detlint, WallClockSanctionedModulePathIsExempt)
+{
+    // obs/clock.{h,cpp} is the one module allowed to read the wall clock
+    // (instrumentation timestamps); its findings report as suppressed with
+    // no per-line annotation required.
+    const auto findings = lint(fixture("obs/clock.cpp"), "wall-clock");
+    EXPECT_EQ(count(findings, "wall-clock", /*suppressed=*/false), 0);
+    EXPECT_GE(count(findings, "wall-clock", /*suppressed=*/true), 1);
+}
+
+TEST(Detlint, WallClockExemptionDoesNotLeakOutsideTheSanctionedPath)
+{
+    // Byte-identical wall-clock read, same basename, wrong directory: the
+    // path allowlist is a suffix match on obs/clock.*, not on the filename.
+    const auto findings = lint(fixture("clock.cpp"), "wall-clock");
+    EXPECT_GE(count(findings, "wall-clock", /*suppressed=*/false), 1);
+    EXPECT_EQ(count(findings, "wall-clock", /*suppressed=*/true), 0);
+}
+
 TEST(Detlint, UnknownPathThrows)
 {
     EXPECT_THROW(lint(fixture("no_such_fixture.cpp")), std::runtime_error);

@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock read as obs/clock.cpp but outside the obs/
+// directory — the path exemption must NOT apply here, so this fires.
+#include <chrono>
+
+unsigned long long fixture_now_ns()
+{
+    return static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -1,0 +1,9 @@
+// Fixture: the sanctioned obs/clock.cpp path — wall-clock reads here are
+// reported as suppressed without any DETLINT-ALLOW annotation.
+#include <chrono>
+
+unsigned long long fixture_now_ns()
+{
+    return static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
