@@ -25,6 +25,8 @@
 #include "obs/trace.h"
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
+#include "spectral/lanczos.h"
+#include "spectral/percolation.h"
 #include "tempo/bulk_router.h"
 #include "traffic/adversary.h"
 #include "traffic/flow_assignment.h"
@@ -518,6 +520,41 @@ void bm_dijkstra(benchmark::State& state)
     }
 }
 BENCHMARK(bm_dijkstra)->Unit(benchmark::kMicrosecond);
+
+void bm_lanczos(benchmark::State& state)
+{
+    // λ₂ of the 40x40 grid's 1600-node static Laplacian: the Lanczos
+    // sweep with full reorthogonalization that the percolation analyzer
+    // pays per step when compute_lambda2 is on. The CSR assembly is paid
+    // once outside the loop, so this tracks the eigensolver alone.
+    const spectral::csr_matrix laplacian =
+        spectral::build_laplacian(bench_walker_grid());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            spectral::algebraic_connectivity(laplacian).lambda2);
+    }
+}
+BENCHMARK(bm_lanczos)->Unit(benchmark::kMillisecond);
+
+void bm_percolation(benchmark::State& state)
+{
+    // Union-find + susceptibility + clustering over the 40x40 grid under a
+    // 6-plane attack, λ₂ off: the per-step structural pass of the
+    // percolation engine minus the eigensolve (tracked by bm_lanczos).
+    const auto& topo = bench_walker_grid();
+    lsn::failure_scenario attack;
+    attack.mode = lsn::failure_mode::plane_attack;
+    attack.planes_attacked = 6;
+    attack.seed = 7;
+    const auto failed = lsn::sample_failures(topo, attack);
+    spectral::percolation_options opts;
+    opts.compute_lambda2 = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            spectral::analyze_percolation(topo, failed, opts).susceptibility);
+    }
+}
+BENCHMARK(bm_percolation)->Unit(benchmark::kMicrosecond);
 
 /// Console reporter that also collects per-benchmark ns/op and writes
 /// BENCH_perf.json on teardown.

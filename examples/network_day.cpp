@@ -35,6 +35,7 @@
 #include "obs/trace.h"
 #include "radiation/fluence.h"
 #include "radiation/solar_cycle.h"
+#include "spectral/percolation.h"
 #include "traffic/traffic_sweep.h"
 #include "util/angles.h"
 #include "util/cli.h"
@@ -207,12 +208,18 @@ int main(int argc, char** argv)
         bulk_requests.push_back(
             {g, (g + n_gw / 2) % n_gw, bulk_gb, 0.0, bulk_deadline_s});
 
+    // The percolation engine's masking thresholds are reported in their own
+    // escalation table below, so skip the duplicate per-topology sweep here.
+    exp::percolation_engine_options perc_opts;
+    perc_opts.compute_masking_thresholds = false;
+
     plan.engines = {
         std::make_shared<exp::survivability_engine>(),
         std::make_shared<exp::traffic_engine>(demand, traffic_opts),
         std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts),
         std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts,
-                                           /*per_step_baseline=*/true)};
+                                           /*per_step_baseline=*/true),
+        std::make_shared<exp::percolation_engine>(perc_opts)};
 
     // One context = one propagation pass + one failure draw per scenario,
     // shared by all (scenario, engine) cells. The greedy adversary needs a
@@ -293,6 +300,62 @@ int main(int argc, char** argv)
                     tempo::delivered_volume_ratio(bulk_baseline, expanded), 4)});
     }
     bt.print(std::cout);
+
+    // --- Structural robustness: the spectral/percolation view of the same
+    // scenarios. λ₂ (algebraic connectivity of the alive subgraph) tracks
+    // how well-knit the survivors stay, the giant-component fraction tracks
+    // raw fragmentation, and susceptibility χ spikes near the percolation
+    // transition — together they say HOW a scenario erodes the network, not
+    // just how much service it costs.
+    std::cout << "\nstructural robustness under failure (day means; chi = "
+                 "finite-cluster susceptibility):\n";
+    table_printer pt({"scenario", "lambda2_mean", "lambda2_min", "giant_frac",
+                      "chi_max", "clustering"});
+    for (int r = 0; r < n_rows; ++r) {
+        pt.row({campaign.rows[static_cast<std::size_t>(r)].name,
+                format_number(campaign.value(r, "percolation.lambda2_mean"), 4),
+                format_number(campaign.value(r, "percolation.lambda2_min"), 4),
+                format_number(
+                    campaign.value(r, "percolation.giant_fraction_mean"), 4),
+                format_number(
+                    campaign.value(r, "percolation.susceptibility_max"), 4),
+                format_number(campaign.value(r, "percolation.clustering_mean"), 4)});
+    }
+    pt.print(std::cout);
+
+    // --- Masking threshold: escalate a targeted plane attack on the static
+    // ISL wiring until fragmentation dominates (alive-giant fraction below
+    // the collapse ratio, or λ₂ at zero). Fractions at or past the
+    // threshold are damage the constellation can no longer mask.
+    spectral::masking_threshold_options mask_opts;
+    mask_opts.mode = lsn::failure_mode::plane_attack;
+    mask_opts.seed = seed;
+    mask_opts.stop_at_collapse = false; // full degradation curve
+    const auto mask_curve = spectral::find_masking_threshold(topology, mask_opts);
+    std::cout << "\nescalating plane attack on the static wiring ("
+              << mask_opts.n_seeds << " draws per step, collapse ratio "
+              << format_number(mask_opts.gcc_collapse_ratio, 2) << "):\n";
+    table_printer mt({"attack_frac", "lambda2", "giant_alive_frac", "chi",
+                      "clustering", "masked"});
+    for (const auto& step : mask_curve.steps) {
+        const bool masked = mask_curve.threshold_fraction < 0.0 ||
+                            step.fraction < mask_curve.threshold_fraction;
+        mt.row({format_number(step.fraction, 3),
+                format_number(step.mean_lambda2, 4),
+                format_number(step.mean_giant_alive_fraction, 4),
+                format_number(step.mean_susceptibility, 4),
+                format_number(step.mean_clustering, 4), masked ? "yes" : "NO"});
+    }
+    mt.print(std::cout);
+    if (mask_curve.threshold_fraction >= 0.0)
+        std::cout << "masking threshold: "
+                  << format_number(mask_curve.threshold_fraction, 3)
+                  << " of planes — attacks below this fraction degrade "
+                     "service, attacks past it fragment the network\n";
+    else
+        std::cout << "masking threshold: none up to "
+                  << format_number(mask_opts.max_fraction, 3)
+                  << " — the wiring masks every probed attack fraction\n";
 
     // --- Why timelines matter: the same total loss hurts very differently
     // depending on WHEN it lands. Replay the cascade's final failure set as

@@ -193,4 +193,95 @@ const tempo::bulk_sweep_result& bulk_engine::detail(const engine_output& output)
     return typed_detail<tempo::bulk_sweep_result>(output);
 }
 
+// --- percolation -------------------------------------------------------------
+
+void validate(const percolation_engine_options& options)
+{
+    spectral::validate(options.metrics);
+    if (options.compute_masking_thresholds) spectral::validate(options.masking);
+}
+
+percolation_engine::percolation_engine(percolation_engine_options options)
+    : options_(std::move(options))
+{
+}
+
+const std::string& percolation_engine::name() const noexcept
+{
+    static const std::string name = "percolation";
+    return name;
+}
+
+const std::vector<std::string>& percolation_engine::columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "lambda2_mean",          "lambda2_min",
+        "giant_fraction_mean",   "giant_fraction_min",
+        "susceptibility_mean",   "susceptibility_max",
+        "clustering_mean",       "masking_threshold_random_loss",
+        "masking_threshold_plane_attack"};
+    return cols;
+}
+
+void percolation_engine::validate_options() const { validate(options_); }
+
+engine_output percolation_engine::evaluate(
+    const evaluation_context& context, const lsn::failure_timeline& timeline) const
+{
+    auto result = spectral::run_percolation_sweep_timeline(
+        context.builder(), context.offsets(), context.positions(), timeline,
+        options_.metrics);
+    double threshold_random = -1.0;
+    double threshold_plane = -1.0;
+    if (options_.compute_masking_thresholds) {
+        const auto thresholds = masking_thresholds(context.topology());
+        threshold_random = thresholds.first;
+        threshold_plane = thresholds.second;
+    }
+    return make_output({result.lambda2_mean, result.lambda2_min,
+                        result.giant_fraction_mean, result.giant_fraction_min,
+                        result.susceptibility_mean, result.susceptibility_max,
+                        result.clustering_mean, threshold_random, threshold_plane},
+                       std::move(result));
+}
+
+const std::vector<std::string>& percolation_engine::step_columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "lambda2", "giant_component_fraction", "susceptibility", "clustering"};
+    return cols;
+}
+
+std::vector<std::vector<double>> percolation_engine::step_traces(
+    const engine_output& output) const
+{
+    const auto& result = detail(output);
+    return {result.step_lambda2, result.step_giant_fraction,
+            result.step_susceptibility, result.step_clustering};
+}
+
+const spectral::percolation_sweep_result& percolation_engine::detail(
+    const engine_output& output)
+{
+    return typed_detail<spectral::percolation_sweep_result>(output);
+}
+
+std::pair<double, double> percolation_engine::masking_thresholds(
+    const lsn::lsn_topology& topology) const
+{
+    const std::lock_guard<std::mutex> lock(masking_mutex_);
+    if (masking_topology_ != &topology) {
+        spectral::masking_threshold_options options = options_.masking;
+        options.metrics = options_.metrics;
+        options.mode = lsn::failure_mode::random_loss;
+        masking_random_loss_ =
+            spectral::find_masking_threshold(topology, options).threshold_fraction;
+        options.mode = lsn::failure_mode::plane_attack;
+        masking_plane_attack_ =
+            spectral::find_masking_threshold(topology, options).threshold_fraction;
+        masking_topology_ = &topology;
+    }
+    return {masking_random_loss_, masking_plane_attack_};
+}
+
 } // namespace ssplane::exp

@@ -13,11 +13,14 @@
 #define SSPLANE_EXP_METRIC_ENGINE_H
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "exp/evaluation_context.h"
+#include "spectral/percolation.h"
 #include "tempo/bulk_sweep.h"
 #include "traffic/traffic_sweep.h"
 
@@ -147,6 +150,60 @@ private:
     tempo::bulk_route_options options_;
     bool per_step_baseline_;
     std::string name_;
+};
+
+/// Knobs of the percolation engine.
+struct percolation_engine_options {
+    /// Per-step analyzer knobs (λ₂ solver, clustering pass).
+    spectral::percolation_options metrics{};
+    /// Masking-detector knobs shared by the two threshold columns; `mode`
+    /// is overridden per column (both random_loss and plane_attack are
+    /// reported), so its value here is irrelevant.
+    spectral::masking_threshold_options masking{};
+    /// The thresholds cost a full escalation sweep per topology; turn them
+    /// off and the two threshold columns report -1 without the sweep.
+    bool compute_masking_thresholds = true;
+};
+
+/// Reject degenerate percolation-engine knobs with a `contract_violation`.
+void validate(const percolation_engine_options& options);
+
+/// Structural robustness: per-step λ₂ / giant-component / susceptibility /
+/// clustering trajectories of the timeline (adapts
+/// `spectral::run_percolation_sweep_timeline`) plus the escalating-attack
+/// masking thresholds of the static ISL wiring, for random loss and plane
+/// attack. The thresholds are timeline-independent, so they are computed
+/// once per topology and cached — every cell of a campaign reads the same
+/// deterministic value no matter which cell evaluated first.
+class percolation_engine final : public metric_engine {
+public:
+    explicit percolation_engine(percolation_engine_options options = {});
+
+    const std::string& name() const noexcept override;
+    const std::vector<std::string>& columns() const noexcept override;
+    void validate_options() const override;
+    engine_output evaluate(const evaluation_context& context,
+                           const lsn::failure_timeline& timeline) const override;
+    const std::vector<std::string>& step_columns() const noexcept override;
+    std::vector<std::vector<double>> step_traces(
+        const engine_output& output) const override;
+
+    static const spectral::percolation_sweep_result& detail(
+        const engine_output& output);
+
+private:
+    std::pair<double, double> masking_thresholds(
+        const lsn::lsn_topology& topology) const;
+
+    percolation_engine_options options_;
+    /// Per-topology threshold cache. Guarded by a mutex because campaign
+    /// cells evaluate concurrently; the cached values are deterministic
+    /// functions of (topology, options), so the race only decides who
+    /// computes, never what.
+    mutable std::mutex masking_mutex_;
+    mutable const lsn::lsn_topology* masking_topology_ = nullptr;
+    mutable double masking_random_loss_ = -1.0;
+    mutable double masking_plane_attack_ = -1.0;
 };
 
 } // namespace ssplane::exp

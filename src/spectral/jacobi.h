@@ -1,0 +1,28 @@
+// Dense symmetric eigensolver (cyclic Jacobi rotations).
+//
+// The slow-but-certain reference of the spectral suite: O(n³) per sweep,
+// unconditionally convergent on symmetric matrices, no starting vector and
+// no subspace bookkeeping to get wrong. The Lanczos solver (which projects
+// onto a tridiagonal and bisects its Sturm sequence instead) is validated
+// against this reference on small graphs where O(n³) is nothing.
+#ifndef SSPLANE_SPECTRAL_JACOBI_H
+#define SSPLANE_SPECTRAL_JACOBI_H
+
+#include <vector>
+
+namespace ssplane::spectral {
+
+/// All eigenvalues of a dense symmetric matrix (row-major n x n, only the
+/// symmetric part is read), sorted ascending. Deterministic: the cyclic
+/// sweep order is fixed, no threading. Intended for n up to a few hundred —
+/// the validation regime — not as a production path.
+std::vector<double> jacobi_eigenvalues(std::vector<double> matrix, int n);
+
+/// Convenience: dense row-major form of a CSR matrix (for handing sparse
+/// Laplacians to the dense reference in tests).
+struct csr_matrix;
+std::vector<double> to_dense(const csr_matrix& matrix);
+
+} // namespace ssplane::spectral
+
+#endif // SSPLANE_SPECTRAL_JACOBI_H

@@ -80,6 +80,28 @@ sample_summary summarize(std::span<const double> xs)
     return s;
 }
 
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys)
+{
+    expects(xs.size() == ys.size(),
+            "pearson_correlation needs equal-length samples");
+    const std::size_t n = xs.size();
+    if (n < 2) return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
 std::vector<double> linspace(double lo, double hi, std::size_t n)
 {
     expects(n >= 2, "linspace needs n >= 2");

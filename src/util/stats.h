@@ -47,6 +47,11 @@ struct sample_summary {
 /// Compute all summary statistics for a sample.
 sample_summary summarize(std::span<const double> xs);
 
+/// Pearson correlation coefficient of two equal-length samples. Requires
+/// xs.size() == ys.size(); 0 when fewer than 2 samples or when either
+/// sample is constant (no variance to correlate against).
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
 /// Evenly spaced values from lo to hi inclusive; n >= 2.
 std::vector<double> linspace(double lo, double hi, std::size_t n);
 

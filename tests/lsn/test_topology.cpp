@@ -204,5 +204,115 @@ TEST(Topology, IslRangeLimitDropsLongLinks)
     EXPECT_GT(edges_all, edges_short);
 }
 
+/// Connected components of the static ISL wiring by BFS (test-local; the
+/// library's union-find lives in the spectral suite).
+int count_components(const lsn_topology& topo)
+{
+    const int n = static_cast<int>(topo.satellites.size());
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const auto& link : topo.links) {
+        adj[static_cast<std::size_t>(link.a)].push_back(link.b);
+        adj[static_cast<std::size_t>(link.b)].push_back(link.a);
+    }
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    int components = 0;
+    std::vector<int> stack;
+    for (int start = 0; start < n; ++start) {
+        if (seen[static_cast<std::size_t>(start)]) continue;
+        ++components;
+        stack.push_back(start);
+        seen[static_cast<std::size_t>(start)] = 1;
+        while (!stack.empty()) {
+            const int u = stack.back();
+            stack.pop_back();
+            for (const int v : adj[static_cast<std::size_t>(u)])
+                if (!seen[static_cast<std::size_t>(v)]) {
+                    seen[static_cast<std::size_t>(v)] = 1;
+                    stack.push_back(v);
+                }
+        }
+    }
+    return components;
+}
+
+constellation::walker_parameters capped_params(int planes, int sats)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(70.0);
+    p.n_planes = planes;
+    p.sats_per_plane = sats;
+    p.phasing_f = planes > 1 ? 1 : 0;
+    return p;
+}
+
+TEST(CappedTopology, RespectsDegreeCapAndStaysConnected)
+{
+    for (int degree = 2; degree <= 5; ++degree) {
+        const auto topo = build_walker_capped_topology(capped_params(12, 6), degree);
+        EXPECT_EQ(topo.satellites.size(), 72u);
+        expect_unique_links(topo);
+        EXPECT_LE(max_link_degree(topo), degree) << "degree=" << degree;
+        // The chord layers actually reach the cap on a shell this size.
+        EXPECT_EQ(max_link_degree(topo), degree) << "degree=" << degree;
+        EXPECT_EQ(count_components(topo), 1) << "degree=" << degree;
+    }
+}
+
+TEST(CappedTopology, DegreeTwoIsAHamiltonianRing)
+{
+    const auto topo = build_walker_capped_topology(capped_params(6, 4), 2);
+    // A single cycle over all 24 satellites: 24 edges, every degree exactly 2.
+    EXPECT_EQ(topo.links.size(), 24u);
+    const auto degrees = link_degrees(topo);
+    for (const int d : degrees) EXPECT_EQ(d, 2);
+    EXPECT_EQ(count_components(topo), 1);
+}
+
+TEST(CappedTopology, LinkCountGrowsMonotonicallyWithDegree)
+{
+    std::size_t previous = 0;
+    for (int degree = 2; degree <= 5; ++degree) {
+        const auto topo = build_walker_capped_topology(capped_params(16, 5), degree);
+        EXPECT_GT(topo.links.size(), previous) << "degree=" << degree;
+        previous = topo.links.size();
+    }
+}
+
+TEST(CappedTopology, RejectsDegreeBelowRing)
+{
+    EXPECT_THROW(build_walker_capped_topology(capped_params(4, 4), 1),
+                 contract_violation);
+}
+
+TEST(CappedTopology, TinyShellsDegenerateGracefully)
+{
+    // 1 plane x 3 sats: the serpentine ring is just that plane's ring.
+    const auto ring = build_walker_capped_topology(capped_params(1, 3), 4);
+    EXPECT_EQ(ring.links.size(), 3u);
+    expect_unique_links(ring);
+    // 2 planes x 1 sat: a single edge, no duplicate closure.
+    const auto pair = build_walker_capped_topology(capped_params(2, 1), 3);
+    EXPECT_EQ(pair.links.size(), 1u);
+    expect_unique_links(pair);
+}
+
+TEST(Topology, LinkDegreeHelpers)
+{
+    lsn_topology topo;
+    topo.satellites.resize(4);
+    topo.links = {{0, 1}, {1, 2}, {1, 3}};
+    const auto degrees = link_degrees(topo);
+    ASSERT_EQ(degrees.size(), 4u);
+    EXPECT_EQ(degrees[0], 1);
+    EXPECT_EQ(degrees[1], 3);
+    EXPECT_EQ(max_link_degree(topo), 3);
+    EXPECT_EQ(max_link_degree(lsn_topology{}), 0);
+    lsn_topology bad;
+    bad.satellites.resize(2);
+    bad.links = {{0, 5}};
+    EXPECT_THROW(link_degrees(bad), contract_violation);
+}
+
 } // namespace
 } // namespace ssplane::lsn

@@ -173,6 +173,49 @@ TEST(ObsCampaign, TraceCoversPoolExpLsnTrafficAndTempoSubsystems)
     EXPECT_EQ(begins, ends);
 }
 
+TEST(ObsCampaign, SpectralCountersAndSpansCoverThePercolationEngine)
+{
+    const obs_sandbox sandbox;
+    const auto topo = small_walker();
+    const evaluation_context context(topo, {}, astro::instant::j2000(),
+                                     short_grid());
+
+    experiment_plan plan;
+    plan.scenarios.push_back({"baseline", {}});
+    lsn::failure_scenario loss;
+    loss.mode = lsn::failure_mode::random_loss;
+    loss.loss_fraction = 0.25;
+    loss.seed = 7;
+    plan.scenarios.push_back({"random_25", loss});
+    plan.engines = {std::make_shared<percolation_engine>()};
+
+    obs::registry::instance().reset();
+    obs::trace_reset();
+    obs::set_tracing_enabled(true);
+    (void)run_campaign(plan, context);
+    obs::set_tracing_enabled(false);
+
+    const auto counters = obs::deterministic_snapshot();
+    const auto value_of = [&](const std::string& name) -> double {
+        for (const auto& s : counters)
+            if (s.name == name) return s.value;
+        return 0.0;
+    };
+    EXPECT_GT(value_of("spectral.lanczos.solves"), 0.0);
+    EXPECT_GT(value_of("spectral.lanczos.iterations"), 0.0);
+    EXPECT_GT(value_of("spectral.unionfind.unions"), 0.0);
+
+    const auto spans = obs::trace_snapshot();
+    const auto has_span = [&](const std::string& name) {
+        for (const auto& s : spans)
+            if (s.name == name) return true;
+        return false;
+    };
+    EXPECT_TRUE(has_span("campaign.cell.percolation"));
+    EXPECT_TRUE(has_span("spectral.lanczos"));
+    EXPECT_TRUE(has_span("spectral.percolate"));
+}
+
 #endif // SSPLANE_OBS_DISABLED
 
 TEST(ObsCampaign, CampaignReportsCacheStatisticsAndCsvCarriesThem)

@@ -1,0 +1,248 @@
+#include "spectral/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spectral/jacobi.h"
+#include "spectral/percolation.h"
+#include "util/angles.h"
+#include "util/expects.h"
+
+namespace ssplane::spectral {
+namespace {
+
+using adjacency_t = std::vector<std::vector<int>>;
+
+adjacency_t path_graph(int n)
+{
+    adjacency_t adj(static_cast<std::size_t>(n));
+    for (int i = 0; i + 1 < n; ++i) {
+        adj[static_cast<std::size_t>(i)].push_back(i + 1);
+        adj[static_cast<std::size_t>(i + 1)].push_back(i);
+    }
+    for (auto& row : adj) std::sort(row.begin(), row.end());
+    return adj;
+}
+
+adjacency_t cycle_graph(int n)
+{
+    adjacency_t adj = path_graph(n);
+    adj[0].push_back(n - 1);
+    adj[static_cast<std::size_t>(n - 1)].push_back(0);
+    for (auto& row : adj) std::sort(row.begin(), row.end());
+    return adj;
+}
+
+adjacency_t complete_graph(int n)
+{
+    adjacency_t adj(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i != j) adj[static_cast<std::size_t>(i)].push_back(j);
+    return adj;
+}
+
+/// λ₂ by the dense reference: second-smallest eigenvalue of the Laplacian.
+double jacobi_lambda2(const csr_matrix& laplacian)
+{
+    const std::vector<double> eigenvalues =
+        jacobi_eigenvalues(to_dense(laplacian), laplacian.n);
+    expects(eigenvalues.size() >= 2, "reference graphs have n >= 2");
+    return eigenvalues[1];
+}
+
+void expect_lanczos_matches_jacobi(const adjacency_t& adjacency, double tol = 1.0e-8)
+{
+    const csr_matrix laplacian = laplacian_from_adjacency(adjacency);
+    const lanczos_result solve = algebraic_connectivity(laplacian);
+    EXPECT_TRUE(solve.converged);
+    EXPECT_NEAR(solve.lambda2, jacobi_lambda2(laplacian), tol);
+}
+
+TEST(Lanczos, PathGraphMatchesClosedFormAndJacobi)
+{
+    for (const int n : {2, 3, 7, 24, 60}) {
+        const csr_matrix laplacian = laplacian_from_adjacency(path_graph(n));
+        const lanczos_result solve = algebraic_connectivity(laplacian);
+        // Path P_n: λ₂ = 2(1 - cos(π/n)) = 4 sin²(π/2n).
+        const double s = std::sin(std::numbers::pi / (2.0 * n));
+        EXPECT_TRUE(solve.converged) << "n=" << n;
+        EXPECT_NEAR(solve.lambda2, 4.0 * s * s, 1.0e-8) << "n=" << n;
+        EXPECT_NEAR(solve.lambda2, jacobi_lambda2(laplacian), 1.0e-8) << "n=" << n;
+    }
+}
+
+TEST(Lanczos, CycleGraphMatchesClosedFormAndJacobi)
+{
+    for (const int n : {3, 8, 40, 101}) {
+        const csr_matrix laplacian = laplacian_from_adjacency(cycle_graph(n));
+        const lanczos_result solve = algebraic_connectivity(laplacian);
+        // Cycle C_n: λ₂ = 2(1 - cos(2π/n)).
+        EXPECT_TRUE(solve.converged) << "n=" << n;
+        EXPECT_NEAR(solve.lambda2, 2.0 * (1.0 - std::cos(2.0 * std::numbers::pi / n)),
+                    1.0e-8)
+            << "n=" << n;
+        EXPECT_NEAR(solve.lambda2, jacobi_lambda2(laplacian), 1.0e-8) << "n=" << n;
+    }
+}
+
+TEST(Lanczos, CompleteGraphLambda2IsN)
+{
+    for (const int n : {2, 5, 17}) {
+        const csr_matrix laplacian = laplacian_from_adjacency(complete_graph(n));
+        const lanczos_result solve = algebraic_connectivity(laplacian);
+        EXPECT_TRUE(solve.converged) << "n=" << n;
+        EXPECT_NEAR(solve.lambda2, static_cast<double>(n), 1.0e-8) << "n=" << n;
+    }
+}
+
+TEST(Lanczos, DisconnectedGraphAgreesWithJacobiAndUnionFind)
+{
+    // Two components: a 6-cycle and a 5-path, disjoint.
+    adjacency_t adjacency = cycle_graph(6);
+    const adjacency_t tail = path_graph(5);
+    adjacency.resize(11);
+    for (int i = 0; i < 5; ++i)
+        for (const int j : tail[static_cast<std::size_t>(i)])
+            adjacency[static_cast<std::size_t>(6 + i)].push_back(6 + j);
+
+    const csr_matrix laplacian = laplacian_from_adjacency(adjacency);
+    const lanczos_result solve = algebraic_connectivity(laplacian);
+    EXPECT_TRUE(solve.converged);
+    // λ₂ = 0 to solver precision iff disconnected; the dense reference and
+    // the union-find component count must tell the same story.
+    EXPECT_NEAR(solve.lambda2, 0.0, 1.0e-8);
+    EXPECT_NEAR(jacobi_lambda2(laplacian), 0.0, 1.0e-10);
+    const percolation_metrics metrics = analyze_adjacency(adjacency);
+    EXPECT_EQ(metrics.n_components, 2);
+    EXPECT_DOUBLE_EQ(metrics.lambda2, solve.lambda2);
+}
+
+TEST(Lanczos, WalkerShellMatchesJacobi)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 8;
+    p.sats_per_plane = 12; // 96 nodes: comfortably inside the dense regime
+    const lsn::lsn_topology topo = lsn::build_walker_grid_topology(p);
+    expect_lanczos_matches_jacobi(alive_adjacency(topo));
+}
+
+TEST(Lanczos, MaskedWalkerShellMatchesJacobi)
+{
+    constellation::walker_parameters p;
+    p.altitude_m = 550.0e3;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 6;
+    p.sats_per_plane = 8;
+    const lsn::lsn_topology topo = lsn::build_walker_grid_topology(p);
+    std::vector<std::uint8_t> failed(topo.satellites.size(), 0);
+    failed[3] = failed[17] = failed[30] = 1;
+    // The full-dimension Laplacian keeps isolated dead rows, so its
+    // second-smallest eigenvalue is pinned at 0 — and both solvers agree.
+    const csr_matrix laplacian = build_laplacian(topo, failed);
+    const lanczos_result solve = algebraic_connectivity(laplacian);
+    EXPECT_TRUE(solve.converged);
+    EXPECT_NEAR(solve.lambda2, jacobi_lambda2(laplacian), 1.0e-8);
+    EXPECT_NEAR(solve.lambda2, 0.0, 1.0e-8);
+}
+
+TEST(Lanczos, TinyGraphsConvergeExactly)
+{
+    const csr_matrix empty = laplacian_from_adjacency({});
+    EXPECT_DOUBLE_EQ(algebraic_connectivity(empty).lambda2, 0.0);
+    const csr_matrix single = laplacian_from_adjacency({{}});
+    const lanczos_result one = algebraic_connectivity(single);
+    EXPECT_TRUE(one.converged);
+    EXPECT_DOUBLE_EQ(one.lambda2, 0.0);
+}
+
+TEST(Lanczos, SeedChangesStartVectorButNotResult)
+{
+    const csr_matrix laplacian = laplacian_from_adjacency(cycle_graph(24));
+    lanczos_options a;
+    a.seed = 1;
+    lanczos_options b;
+    b.seed = 99;
+    EXPECT_NEAR(algebraic_connectivity(laplacian, a).lambda2,
+                algebraic_connectivity(laplacian, b).lambda2, 1.0e-9);
+    // Bit-identical across repeated solves on the same seed.
+    EXPECT_DOUBLE_EQ(algebraic_connectivity(laplacian, a).lambda2,
+                     algebraic_connectivity(laplacian, a).lambda2);
+}
+
+TEST(Lanczos, TridiagonalSmallestEigenvalue)
+{
+    // 1x1: the diagonal itself.
+    const std::vector<double> a1 = {3.5};
+    EXPECT_NEAR(tridiagonal_smallest_eigenvalue(a1, {}), 3.5, 1.0e-12);
+    // 2x2 [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+    const std::vector<double> a2 = {2.0, 2.0};
+    const std::vector<double> b2 = {1.0};
+    EXPECT_NEAR(tridiagonal_smallest_eigenvalue(a2, b2), 1.0, 1.0e-12);
+    // Free Laplacian of P_3 projected: check against Jacobi on the dense form.
+    const std::vector<double> a3 = {1.0, 2.0, 1.0};
+    const std::vector<double> b3 = {-1.0, -1.0};
+    const std::vector<double> dense = {1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0};
+    EXPECT_NEAR(tridiagonal_smallest_eigenvalue(a3, b3), jacobi_eigenvalues(dense, 3)[0],
+                1.0e-12);
+}
+
+TEST(Lanczos, ValidateRejectsDegenerateOptions)
+{
+    lanczos_options bad_iters;
+    bad_iters.max_iterations = 0;
+    EXPECT_THROW(validate(bad_iters), contract_violation);
+    lanczos_options bad_tol;
+    bad_tol.tolerance = -1.0;
+    EXPECT_THROW(validate(bad_tol), contract_violation);
+    lanczos_options nan_tol;
+    nan_tol.tolerance = std::nan("");
+    EXPECT_THROW(validate(nan_tol), contract_violation);
+    EXPECT_NO_THROW(validate(lanczos_options{}));
+}
+
+TEST(Laplacian, ValidateRejectsMalformedCsr)
+{
+    csr_matrix bad;
+    bad.n = 2;
+    bad.row_ptr = {0, 1}; // wrong size: needs n + 1 entries
+    bad.col = {0};
+    bad.values = {1.0};
+    EXPECT_THROW(validate(bad), contract_violation);
+    bad.row_ptr = {0, 2, 1}; // non-monotone
+    EXPECT_THROW(validate(bad), contract_violation);
+}
+
+TEST(Laplacian, RowSumsVanishAndDegreesMatch)
+{
+    constellation::walker_parameters p;
+    p.inclination_rad = deg2rad(53.0);
+    p.n_planes = 4;
+    p.sats_per_plane = 5;
+    const lsn::lsn_topology topo = lsn::build_walker_grid_topology(p);
+    const csr_matrix laplacian = build_laplacian(topo);
+    ASSERT_EQ(laplacian.n, 20);
+    std::vector<double> ones(20, 1.0);
+    std::vector<double> out(20, -1.0);
+    laplacian.multiply(ones, out);
+    for (const double v : out) EXPECT_NEAR(v, 0.0, 1.0e-12);
+    const std::vector<int> degrees = lsn::link_degrees(topo);
+    for (int i = 0; i < laplacian.n; ++i) {
+        // Diagonal entry = degree.
+        double diag = 0.0;
+        for (int k = laplacian.row_ptr[static_cast<std::size_t>(i)];
+             k < laplacian.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+            if (laplacian.col[static_cast<std::size_t>(k)] == i)
+                diag = laplacian.values[static_cast<std::size_t>(k)];
+        EXPECT_DOUBLE_EQ(diag, static_cast<double>(degrees[static_cast<std::size_t>(i)]));
+    }
+}
+
+} // namespace
+} // namespace ssplane::spectral

@@ -111,5 +111,24 @@ TEST(Stats, PercentileSortedEdgeCases)
     EXPECT_THROW(percentile_sorted(two, 101.0), contract_violation);
 }
 
+TEST(Stats, PearsonCorrelation)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> up{2.0, 4.0, 6.0, 8.0, 10.0};
+    const std::vector<double> down{5.0, 4.0, 3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+    // Hand-computed partial correlation.
+    const std::vector<double> ys{1.0, 3.0, 2.0, 5.0, 4.0};
+    EXPECT_NEAR(pearson_correlation(xs, ys), 0.8, 1e-12);
+    // Degenerate samples report 0, not NaN.
+    const std::vector<double> flat{3.0, 3.0, 3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson_correlation(xs, flat), 0.0);
+    EXPECT_DOUBLE_EQ(pearson_correlation({}, {}), 0.0);
+    const std::vector<double> one{1.0};
+    EXPECT_DOUBLE_EQ(pearson_correlation(one, one), 0.0);
+    EXPECT_THROW(pearson_correlation(xs, one), contract_violation);
+}
+
 } // namespace
 } // namespace ssplane
