@@ -26,6 +26,7 @@
 #include "radiation/belts.h"
 #include "radiation/fluence.h"
 #include "spectral/lanczos.h"
+#include "serve/serving_sweep.h"
 #include "spectral/percolation.h"
 #include "tempo/bulk_router.h"
 #include "traffic/adversary.h"
@@ -555,6 +556,32 @@ void bm_percolation(benchmark::State& state)
     }
 }
 BENCHMARK(bm_percolation)->Unit(benchmark::kMicrosecond);
+
+void bm_session_assign(benchmark::State& state)
+{
+    // One serving step at production session scale: a 1M-session grid
+    // (sampled once, outside the loop — the per-sweep cost) packed onto the
+    // 40x40 grid's beams. The gate the serving engine lives under: one
+    // step's assignment must sustain >= 1M sessions with memory O(populated
+    // cells), so the measured quantity is ns per (session x step).
+    const auto& topo = bench_walker_grid();
+    const lsn::snapshot_builder builder(topo, lsn::default_ground_stations(),
+                                        astro::instant::j2000(), deg2rad(25.0));
+    const std::vector<double> offsets{0.0};
+    const auto positions = builder.positions_at_offsets(offsets);
+    serve::serving_options opts;
+    opts.n_sessions = 1000000;
+    opts.seed = 1;
+    const auto grid = serve::sample_session_grid(bench_population(), opts);
+    const auto t = builder.epoch();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            serve::assign_beams(grid, positions[0], {}, t, opts).delivered_gbps);
+    }
+    state.counters["sessions"] =
+        benchmark::Counter(static_cast<double>(grid.total_sessions));
+}
+BENCHMARK(bm_session_assign)->Unit(benchmark::kMillisecond);
 
 /// Console reporter that also collects per-benchmark ns/op and writes
 /// BENCH_perf.json on teardown.

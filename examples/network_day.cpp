@@ -13,6 +13,7 @@
 // Usage: network_day [--bandwidth=10] [--sweep-step=1800] [--seed=1]
 //                    [--offered-gbps=2000] [--bulk-gb=500000]
 //                    [--buffer-gb=25000] [--bulk-deadline-h=6]
+//                    [--sessions=1000000]
 //                    [--trace=out.json] [--metrics[=out.csv]]
 //
 // --trace=FILE records phase spans across the whole run and writes a Chrome
@@ -213,13 +214,22 @@ int main(int argc, char** argv)
     exp::percolation_engine_options perc_opts;
     perc_opts.compute_masking_thresholds = false;
 
+    // Session-level serving: N user terminals sampled from the population
+    // grid (cell aggregates, so memory stays O(populated cells) even at
+    // millions of sessions), judged per step against beam/satellite limits.
+    serve::serving_options serving_opts;
+    serving_opts.n_sessions =
+        static_cast<std::int64_t>(args.get_double("sessions", 1000000.0));
+    serving_opts.seed = seed;
+
     plan.engines = {
         std::make_shared<exp::survivability_engine>(),
         std::make_shared<exp::traffic_engine>(demand, traffic_opts),
         std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts),
         std::make_shared<exp::bulk_engine>(bulk_requests, bulk_opts,
                                            /*per_step_baseline=*/true),
-        std::make_shared<exp::percolation_engine>(perc_opts)};
+        std::make_shared<exp::percolation_engine>(perc_opts),
+        std::make_shared<exp::serving_engine>(population, serving_opts)};
 
     // One context = one propagation pass + one failure draw per scenario,
     // shared by all (scenario, engine) cells. The greedy adversary needs a
@@ -300,6 +310,34 @@ int main(int argc, char** argv)
                     tempo::delivered_volume_ratio(bulk_baseline, expanded), 4)});
     }
     bt.print(std::cout);
+
+    // --- User-level SLOs: the same scenarios seen by individual sessions
+    // instead of gateway aggregates. served_frac counts sessions at full
+    // SLO; p99 is the floor rate 99% of session-steps meet or exceed;
+    // restore_s is how long the served fraction stayed below the restore
+    // threshold after first dipping (-1 = never dipped, inf = never
+    // recovered within the day).
+    const int serving_e = campaign.engine_index("serving");
+    const auto& serving_grid =
+        std::dynamic_pointer_cast<const exp::serving_engine>(
+            campaign.engines[static_cast<std::size_t>(serving_e)])
+            ->grid();
+    std::cout << "\nuser-level SLOs (" << serving_grid.total_sessions
+              << " sessions over " << serving_grid.cells.size()
+              << " populated cells, " << serving_opts.session_rate_mbps
+              << " Mbps/session):\n";
+    table_printer ut({"scenario", "served_frac", "p50_mbps", "p99_mbps",
+                      "dropped_max", "degraded_max", "restore_s"});
+    for (int r = 0; r < n_rows; ++r) {
+        ut.row({campaign.rows[static_cast<std::size_t>(r)].name,
+                format_number(campaign.value(r, "serving.served_fraction_mean"), 4),
+                format_number(campaign.value(r, "serving.p50_session_rate_mbps"), 4),
+                format_number(campaign.value(r, "serving.p99_session_rate_mbps"), 4),
+                format_number(campaign.value(r, "serving.sessions_dropped_max")),
+                format_number(campaign.value(r, "serving.sessions_degraded_max")),
+                format_number(campaign.value(r, "serving.time_to_restore_s"), 1)});
+    }
+    ut.print(std::cout);
 
     // --- Structural robustness: the spectral/percolation view of the same
     // scenarios. λ₂ (algebraic connectivity of the alive subgraph) tracks
@@ -389,6 +427,26 @@ int main(int argc, char** argv)
                 format_number(one_shot.step_delivered_fraction[i], 4)});
     }
     ct.print(std::cout);
+
+    // --- Gateway aggregate vs user experience under the SAME cascade: the
+    // gateway-level delivered fraction can look healthy while individual
+    // sessions are dropped or starved — that is exactly what the p99 floor
+    // and per-step dropped counts expose.
+    const auto& cascade_serving =
+        exp::serving_engine::detail(campaign.cell(cascade_row, serving_e));
+    std::cout << "\ngateway aggregate vs user-level SLO under the kessler "
+                 "cascade:\n";
+    table_printer gu({"t_h", "failed", "gateway_delivered_frac",
+                      "user_served_frac", "user_p99_mbps", "users_dropped"});
+    for (std::size_t i = 0; i < n_steps; i += stride) {
+        gu.row({format_number(context.offsets()[i] / 3600.0, 3),
+                std::to_string(cascade_timeline.n_failed_at(static_cast<int>(i))),
+                format_number(cascade_traffic.step_delivered_fraction[i], 4),
+                format_number(cascade_serving.step_served_fraction[i], 4),
+                format_number(cascade_serving.step_p99_session_rate_mbps[i], 4),
+                format_number(cascade_serving.step_sessions_dropped[i])});
+    }
+    gu.print(std::cout);
 
     // The whole campaign as one machine-readable table: scenario axes ->
     // every engine's named metric columns.

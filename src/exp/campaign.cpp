@@ -188,6 +188,17 @@ campaign_result run_campaign(const experiment_plan& plan,
                 sorted_columns.end(),
             "campaign engines produce duplicate column names; give each engine "
             "a distinct name");
+    // The step-trace header is a separate namespace (an engine may reuse a
+    // scalar column name for its per-step trace), so it needs its own
+    // collision guard — engines with step columns but no scalar columns
+    // would otherwise collide silently in `write_step_csv`.
+    auto sorted_step_columns = result.step_columns;
+    std::sort(sorted_step_columns.begin(), sorted_step_columns.end());
+    expects(std::adjacent_find(sorted_step_columns.begin(),
+                               sorted_step_columns.end()) ==
+                sorted_step_columns.end(),
+            "campaign engines produce duplicate step-trace column names; give "
+            "each engine a distinct name");
 
     // Resolve the scenario grid and validate every cell's knobs serially,
     // before any parallel work or mask draw.

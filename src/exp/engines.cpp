@@ -284,4 +284,84 @@ std::pair<double, double> percolation_engine::masking_thresholds(
     return {masking_random_loss_, masking_plane_attack_};
 }
 
+// --- serving ----------------------------------------------------------------
+
+serving_engine::serving_engine(const demand::population_model& population,
+                               serve::serving_options options)
+    : population_(&population), options_(options)
+{
+}
+
+const std::string& serving_engine::name() const noexcept
+{
+    static const std::string name = "serving";
+    return name;
+}
+
+const std::vector<std::string>& serving_engine::columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "sessions_homed",           "sessions_active_mean",
+        "offered_gbps_mean",        "delivered_gbps_mean",
+        "delivered_fraction",       "served_fraction_mean",
+        "min_step_served_fraction", "p50_session_rate_mbps",
+        "p99_session_rate_mbps",    "sessions_dropped_max",
+        "sessions_degraded_max",    "time_to_restore_s",
+        "recovery_headroom"};
+    return cols;
+}
+
+void serving_engine::validate_options() const { serve::validate(options_); }
+
+const serve::session_grid& serving_engine::grid() const
+{
+    const std::lock_guard<std::mutex> lock(grid_mutex_);
+    if (!grid_)
+        grid_ = std::make_shared<const serve::session_grid>(
+            serve::sample_session_grid(*population_, options_));
+    return *grid_;
+}
+
+engine_output serving_engine::evaluate(const evaluation_context& context,
+                                       const lsn::failure_timeline& timeline) const
+{
+    auto result = serve::run_serving_sweep_timeline(
+        context.builder(), context.offsets(), context.positions(), timeline,
+        grid(), options_);
+    const auto& m = result.metrics;
+    return make_output(
+        {static_cast<double>(m.sessions_homed), m.sessions_active_mean,
+         m.offered_gbps_mean, m.delivered_gbps_mean, m.delivered_fraction,
+         m.served_fraction_mean, m.min_step_served_fraction,
+         m.p50_session_rate_mbps, m.p99_session_rate_mbps,
+         static_cast<double>(m.sessions_dropped_max),
+         static_cast<double>(m.sessions_degraded_max), m.time_to_restore_s,
+         m.recovery_headroom},
+        std::move(result));
+}
+
+const std::vector<std::string>& serving_engine::step_columns() const noexcept
+{
+    static const std::vector<std::string> cols{
+        "served_fraction",   "sessions_active",
+        "sessions_dropped",  "sessions_degraded",
+        "p99_session_rate_mbps", "delivered_gbps"};
+    return cols;
+}
+
+std::vector<std::vector<double>> serving_engine::step_traces(
+    const engine_output& output) const
+{
+    const auto& result = detail(output);
+    return {result.step_served_fraction,       result.step_sessions_active,
+            result.step_sessions_dropped,      result.step_sessions_degraded,
+            result.step_p99_session_rate_mbps, result.step_delivered_gbps};
+}
+
+const serve::serving_sweep_result& serving_engine::detail(
+    const engine_output& output)
+{
+    return typed_detail<serve::serving_sweep_result>(output);
+}
+
 } // namespace ssplane::exp

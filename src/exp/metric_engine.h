@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exp/evaluation_context.h"
+#include "serve/serving_sweep.h"
 #include "spectral/percolation.h"
 #include "tempo/bulk_sweep.h"
 #include "traffic/traffic_sweep.h"
@@ -204,6 +205,41 @@ private:
     mutable const lsn::lsn_topology* masking_topology_ = nullptr;
     mutable double masking_random_loss_ = -1.0;
     mutable double masking_plane_attack_ = -1.0;
+};
+
+/// Session-level serving: user SLOs (delivered-rate percentiles, dropped/
+/// degraded session counts, time-to-restore) of the sampled session
+/// population (adapts `serve::run_serving_sweep_timeline`). The session
+/// grid is a deterministic function of (population, options) and is
+/// sampled lazily on first use — after `validate_options` has run — then
+/// shared by every cell. The population model must outlive the engine.
+class serving_engine final : public metric_engine {
+public:
+    explicit serving_engine(const demand::population_model& population,
+                            serve::serving_options options = {});
+
+    const std::string& name() const noexcept override;
+    const std::vector<std::string>& columns() const noexcept override;
+    void validate_options() const override;
+    engine_output evaluate(const evaluation_context& context,
+                           const lsn::failure_timeline& timeline) const override;
+    const std::vector<std::string>& step_columns() const noexcept override;
+    std::vector<std::vector<double>> step_traces(
+        const engine_output& output) const override;
+
+    static const serve::serving_sweep_result& detail(const engine_output& output);
+
+    /// The sampled session population every cell serves (lazily sampled).
+    const serve::session_grid& grid() const;
+
+private:
+    const demand::population_model* population_;
+    serve::serving_options options_;
+    /// Lazy grid cache. Guarded by a mutex because campaign cells evaluate
+    /// concurrently; the grid is a deterministic function of (population,
+    /// options), so the race only decides who samples, never what.
+    mutable std::mutex grid_mutex_;
+    mutable std::shared_ptr<const serve::session_grid> grid_;
 };
 
 } // namespace ssplane::exp

@@ -1,0 +1,230 @@
+#include "serve/beam_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "astro/constants.h"
+#include "astro/frames.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/angles.h"
+#include "util/expects.h"
+#include "util/parallel.h"
+
+namespace ssplane::serve {
+
+namespace {
+
+/// Half-angle of the coverage footprint [rad]: the largest Earth-central
+/// angle between a ground site and the sub-satellite point at which the
+/// satellite still clears elevation `e` from altitude `h` (standard
+/// horizon geometry: ψ = acos((Re/(Re+h))·cos e) − e).
+double footprint_central_angle_rad(double altitude_m, double min_elevation_rad)
+{
+    const double re = astro::earth_mean_radius_m;
+    const double h = std::max(altitude_m, 1.0);
+    const double c = (re / (re + h)) * std::cos(min_elevation_rad);
+    return std::acos(std::min(1.0, c)) - min_elevation_rad;
+}
+
+/// Alive satellite bucketed by sub-point latitude band, for the per-cell
+/// candidate search. Longitudes are kept for the cheap box prefilter; the
+/// exact elevation test always has the final word.
+struct bucketed_satellite {
+    int index = 0;
+    double latitude_deg = 0.0;
+    double longitude_deg = 0.0;
+};
+
+/// Conservative slack [deg] absorbing the geodetic-vs-geocentric latitude
+/// offset and the spherical-cap approximation of the box prefilter. A sat
+/// inside the margin is elevation-tested, never assumed visible.
+constexpr double prefilter_margin_deg = 1.0;
+
+constexpr double band_width_deg = 6.0;
+
+double wrapped_longitude_delta_deg(double a, double b)
+{
+    double d = std::abs(a - b);
+    if (d > 180.0) d = 360.0 - d;
+    return d;
+}
+
+} // namespace
+
+beam_assignment assign_beams(const session_grid& grid,
+                             const std::vector<vec3>& sat_positions_ecef,
+                             std::span<const std::uint8_t> failed,
+                             const astro::instant& t,
+                             const serving_options& options)
+{
+    OBS_SPAN("serve.assign");
+    validate(options);
+    const std::size_t n_sats = sat_positions_ecef.size();
+    expects(failed.empty() || failed.size() == n_sats,
+            "failure mask size must match the satellite count");
+
+    // Bucket alive satellites by sub-point latitude band and find the
+    // widest footprint; every per-cell search below scans only the bands a
+    // footprint of that size can reach.
+    const int n_bands = static_cast<int>(std::ceil(180.0 / band_width_deg));
+    std::vector<std::vector<bucketed_satellite>> bands(
+        static_cast<std::size_t>(n_bands));
+    double psi_max_deg = 0.0;
+    for (std::size_t s = 0; s < n_sats; ++s) {
+        if (!failed.empty() && failed[s] != 0) continue;
+        const astro::geodetic sub = astro::ecef_to_geodetic(sat_positions_ecef[s]);
+        psi_max_deg = std::max(
+            psi_max_deg, rad2deg(footprint_central_angle_rad(
+                             sub.altitude_m, options.min_elevation_rad)));
+        const int band = std::clamp(
+            static_cast<int>((sub.latitude_deg + 90.0) / band_width_deg), 0,
+            n_bands - 1);
+        bands[static_cast<std::size_t>(band)].push_back(
+            {static_cast<int>(s), sub.latitude_deg, sub.longitude_deg});
+    }
+    const double reach_deg = psi_max_deg + prefilter_margin_deg;
+
+    // Candidate discovery in parallel, one slot per cell: pure geometry,
+    // so neither thread count nor chunking can reach the result.
+    struct candidate {
+        int satellite = 0;
+        double elevation_rad = 0.0;
+    };
+    std::vector<std::vector<candidate>> candidates(grid.cells.size());
+    parallel_for(
+        grid.cells.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const session_cell& cell = grid.cells[i];
+                // Longitude window of a spherical cap of radius `reach`
+                // centered on the cell; past the pole every longitude is in.
+                const double abs_lat = std::abs(cell.latitude_deg);
+                double allowed_dlon_deg = 180.0;
+                if (abs_lat + reach_deg < 90.0) {
+                    const double s = std::sin(deg2rad(reach_deg)) /
+                                     std::cos(deg2rad(cell.latitude_deg));
+                    if (s < 1.0) allowed_dlon_deg = rad2deg(std::asin(s));
+                }
+                const int band_lo = std::clamp(
+                    static_cast<int>((cell.latitude_deg - reach_deg + 90.0) /
+                                     band_width_deg),
+                    0, n_bands - 1);
+                const int band_hi = std::clamp(
+                    static_cast<int>((cell.latitude_deg + reach_deg + 90.0) /
+                                     band_width_deg),
+                    0, n_bands - 1);
+                for (int band = band_lo; band <= band_hi; ++band) {
+                    for (const bucketed_satellite& sat :
+                         bands[static_cast<std::size_t>(band)]) {
+                        if (std::abs(sat.latitude_deg - cell.latitude_deg) >
+                            reach_deg)
+                            continue;
+                        if (wrapped_longitude_delta_deg(
+                                sat.longitude_deg, cell.longitude_deg) >
+                            allowed_dlon_deg)
+                            continue;
+                        const double elevation = astro::elevation_angle_rad(
+                            cell.site_ecef_m,
+                            sat_positions_ecef[static_cast<std::size_t>(
+                                sat.index)]);
+                        if (elevation >= options.min_elevation_rad)
+                            candidates[i].push_back({sat.index, elevation});
+                    }
+                }
+            }
+        },
+        static_cast<std::size_t>(options.chunk_cells));
+
+    // Greedy packing: one serial walk over cells in grid order. Per beam
+    // the pick is the visible satellite with the most residual user-link
+    // capacity (tie: higher elevation, then lower index) — load balancing
+    // with exact lexicographic tie-breaking, so the walk is deterministic.
+    beam_assignment result;
+    std::vector<int> beams_left(n_sats, options.beams_per_satellite);
+    std::vector<double> capacity_left(n_sats, options.satellite_capacity_gbps);
+    std::vector<std::uint8_t> serving(n_sats, 0);
+    const double rate_gbps = options.session_rate_mbps / 1000.0;
+    for (std::size_t i = 0; i < grid.cells.size(); ++i) {
+        const std::int64_t active = active_sessions(grid.cells[i], t);
+        if (active == 0) continue;
+        result.sessions_active += active;
+        result.offered_gbps += static_cast<double>(active) * rate_gbps;
+        std::int64_t remaining = active;
+        const auto& cell_candidates = candidates[i];
+        while (remaining > 0) {
+            int best = -1;
+            double best_capacity = 0.0;
+            double best_elevation = 0.0;
+            for (const candidate& c : cell_candidates) {
+                const std::size_t s = static_cast<std::size_t>(c.satellite);
+                if (beams_left[s] == 0) continue;
+                const double capacity = capacity_left[s];
+                if (capacity <= 0.0) continue;
+                const bool better =
+                    best < 0 || capacity > best_capacity ||
+                    (capacity == best_capacity &&
+                     (c.elevation_rad > best_elevation ||
+                      (c.elevation_rad == best_elevation && c.satellite < best)));
+                if (better) {
+                    best = c.satellite;
+                    best_capacity = capacity;
+                    best_elevation = c.elevation_rad;
+                }
+            }
+            if (best < 0) break; // every visible satellite is saturated
+            const std::size_t s = static_cast<std::size_t>(best);
+            const std::int64_t users = std::min(
+                remaining, static_cast<std::int64_t>(options.max_users_per_beam));
+            const double offered = static_cast<double>(users) * rate_gbps;
+            const double delivered = std::min(
+                {offered, options.beam_capacity_gbps, capacity_left[s]});
+            --beams_left[s];
+            capacity_left[s] -= delivered;
+            serving[s] = 1;
+            ++result.beams_used;
+            result.delivered_gbps += delivered;
+            if (delivered < options.degraded_rate_fraction * offered)
+                result.sessions_degraded += users;
+            result.rate_groups.push_back(
+                {delivered * 1000.0 / static_cast<double>(users), users});
+            remaining -= users;
+        }
+        result.sessions_dropped += remaining;
+    }
+    if (result.sessions_dropped > 0)
+        result.rate_groups.push_back({0.0, result.sessions_dropped});
+    for (std::size_t s = 0; s < n_sats; ++s)
+        if (serving[s] != 0) ++result.satellites_serving;
+
+    OBS_COUNT("serve.assign.steps");
+    OBS_COUNT_N("serve.assign.sessions_active",
+                static_cast<std::uint64_t>(result.sessions_active));
+    OBS_COUNT_N("serve.assign.beams_used",
+                static_cast<std::uint64_t>(result.beams_used));
+    return result;
+}
+
+double session_rate_percentile(std::span<const session_rate_group> groups,
+                               double percent)
+{
+    expects(percent >= 0.0 && percent <= 100.0,
+            "percentile must lie in [0, 100]");
+    std::vector<session_rate_group> sorted(groups.begin(), groups.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const session_rate_group& a, const session_rate_group& b) {
+                  return a.rate_mbps < b.rate_mbps;
+              });
+    std::int64_t total = 0;
+    for (const session_rate_group& g : sorted) total += g.sessions;
+    if (total == 0) return 0.0;
+    const double target = percent / 100.0 * static_cast<double>(total);
+    std::int64_t cumulative = 0;
+    for (const session_rate_group& g : sorted) {
+        cumulative += g.sessions;
+        if (static_cast<double>(cumulative) >= target) return g.rate_mbps;
+    }
+    return sorted.back().rate_mbps;
+}
+
+} // namespace ssplane::serve

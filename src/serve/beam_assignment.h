@@ -1,0 +1,79 @@
+// Users → beams → visible satellites under hard capacity limits.
+//
+// One step of serving: every populated cell's active sessions (diurnal
+// gating of the homed count) are packed onto steerable beams of the
+// satellites that see the cell above the elevation mask, subject to three
+// limits — per-beam capacity, per-beam user count, and per-satellite
+// user-link capacity. Sessions that no beam can take are dropped; beams
+// whose capacity share falls below the degraded-rate threshold leave their
+// users degraded.
+//
+// Determinism contract: candidate visibility is computed in parallel into
+// per-cell slots (pure geometry, chunk-independent); the greedy packing
+// itself is one serial walk over cells in grid order with exact
+// lexicographic tie-breaking (most residual satellite capacity, then
+// higher elevation, then lower satellite index), so the result is
+// bit-identical for any SSPLANE_THREADS value and any chunk size.
+#ifndef SSPLANE_SERVE_BEAM_ASSIGNMENT_H
+#define SSPLANE_SERVE_BEAM_ASSIGNMENT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/session_grid.h"
+
+namespace ssplane::serve {
+
+/// A run of sessions all delivered the same per-session rate — the compact
+/// (O(beams), not O(users)) representation the SLO percentiles are
+/// computed from. Dropped sessions appear as one group at rate 0.
+struct session_rate_group {
+    double rate_mbps = 0.0;
+    std::int64_t sessions = 0;
+};
+
+/// Outcome of one step's beam assignment.
+struct beam_assignment {
+    std::int64_t sessions_active = 0;   ///< Diurnally awake sessions this step.
+    std::int64_t sessions_dropped = 0;  ///< No beam had room (rate 0).
+    std::int64_t sessions_degraded = 0; ///< Served below the degraded threshold.
+    double offered_gbps = 0.0;          ///< Active sessions × session rate.
+    double delivered_gbps = 0.0;        ///< Σ delivered over all beams.
+    int beams_used = 0;
+    int satellites_serving = 0;         ///< Satellites with ≥ 1 beam in use.
+    /// Delivered-rate distribution over active sessions, one group per
+    /// beam plus the dropped group; Σ sessions == sessions_active.
+    std::vector<session_rate_group> rate_groups;
+
+    /// Fraction of active sessions served at full SLO (neither dropped nor
+    /// degraded); vacuously 1 when nothing is awake.
+    double served_fraction() const noexcept
+    {
+        if (sessions_active == 0) return 1.0;
+        return static_cast<double>(sessions_active - sessions_dropped -
+                                   sessions_degraded) /
+               static_cast<double>(sessions_active);
+    }
+};
+
+/// Assign one step. `sat_positions_ecef` holds every satellite's ECEF
+/// position; `failed` (empty = none, else one flag per satellite) removes
+/// satellites from service entirely. `t` is the absolute time of the step
+/// (drives the diurnal activity gating per cell).
+beam_assignment assign_beams(const session_grid& grid,
+                             const std::vector<vec3>& sat_positions_ecef,
+                             std::span<const std::uint8_t> failed,
+                             const astro::instant& t,
+                             const serving_options& options);
+
+/// Linear-walk percentile of the delivered-rate distribution: the smallest
+/// rate r such that at least `percent`% of the sessions have rate ≤ r.
+/// The p99 *floor* ("the rate 99% of sessions meet or exceed") is
+/// percentile 1.0; the median is percentile 50. 0 for an empty set.
+double session_rate_percentile(std::span<const session_rate_group> groups,
+                               double percent);
+
+} // namespace ssplane::serve
+
+#endif // SSPLANE_SERVE_BEAM_ASSIGNMENT_H

@@ -1,0 +1,245 @@
+// Serving sweeps along failure timelines: a mid-sweep total strike must
+// show up as a served-fraction dip with the right drop accounting, the SLO
+// scalars must be pure functions of the step traces, and the whole sweep
+// must be bit-identical under thread-count and chunk-size perturbations.
+#include "serve/serving_sweep.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "constellation/walker.h"
+#include "lsn/topology.h"
+#include "util/angles.h"
+#include "util/expects.h"
+#include "util/parallel.h"
+
+namespace ssplane::serve {
+namespace {
+
+lsn::lsn_topology small_walker()
+{
+    constellation::walker_parameters params;
+    params.altitude_m = 550.0e3;
+    params.inclination_rad = deg2rad(53.0);
+    params.n_planes = 6;
+    params.sats_per_plane = 8;
+    params.phasing_f = 1;
+    return lsn::build_walker_grid_topology(params);
+}
+
+struct sweep_fixture {
+    lsn::lsn_topology topo = small_walker();
+    lsn::snapshot_builder builder{topo, lsn::default_ground_stations(),
+                                  astro::instant::j2000(), deg2rad(25.0)};
+    std::vector<double> offsets = lsn::sweep_offsets(7200.0, 1800.0);
+    std::vector<std::vector<vec3>> positions =
+        builder.positions_at_offsets(offsets);
+    session_grid grid;
+
+    explicit sweep_fixture(std::int64_t n_sessions = 30000)
+    {
+        const demand::population_model population;
+        serving_options options;
+        options.n_sessions = n_sessions;
+        options.seed = 3;
+        grid = sample_session_grid(population, options);
+    }
+};
+
+/// All satellites dead from step `strike` through step `restore - 1`.
+lsn::failure_timeline strike_window(int n_sats, int n_steps, int strike,
+                                    int restore)
+{
+    lsn::failure_timeline timeline;
+    timeline.n_satellites = n_sats;
+    timeline.n_steps = n_steps;
+    timeline.masks.assign(
+        static_cast<std::size_t>(n_sats) * static_cast<std::size_t>(n_steps), 0);
+    for (int step = strike; step < restore; ++step)
+        for (int s = 0; s < n_sats; ++s)
+            timeline.masks[static_cast<std::size_t>(step) *
+                               static_cast<std::size_t>(n_sats) +
+                           static_cast<std::size_t>(s)] = 1;
+    return timeline;
+}
+
+TEST(ServingSweep, ScalarsAreFunctionsOfTheStepTraces)
+{
+    const sweep_fixture fx;
+    serving_options options;
+    options.n_sessions = 30000;
+    options.seed = 3;
+    const auto result = run_serving_sweep_timeline(
+        fx.builder, fx.offsets, fx.positions,
+        lsn::failure_timeline::from_static_mask({}), fx.grid, options);
+
+    const auto n = fx.offsets.size();
+    ASSERT_EQ(result.n_steps, static_cast<int>(n));
+    ASSERT_EQ(result.step_served_fraction.size(), n);
+    ASSERT_EQ(result.step_sessions_active.size(), n);
+    ASSERT_EQ(result.step_sessions_dropped.size(), n);
+    ASSERT_EQ(result.step_sessions_degraded.size(), n);
+    ASSERT_EQ(result.step_p99_session_rate_mbps.size(), n);
+    ASSERT_EQ(result.step_delivered_gbps.size(), n);
+
+    const auto& m = result.metrics;
+    EXPECT_EQ(m.sessions_homed, fx.grid.total_sessions);
+    double served_min = 1.0;
+    double served_sum = 0.0;
+    for (const double f : result.step_served_fraction) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        served_min = std::min(served_min, f);
+        served_sum += f;
+    }
+    EXPECT_DOUBLE_EQ(m.min_step_served_fraction, served_min);
+    EXPECT_DOUBLE_EQ(m.served_fraction_mean,
+                     served_sum / static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(m.time_to_restore_s,
+                     time_to_restore(result.step_served_fraction, fx.offsets,
+                                     options.restore_served_fraction));
+    EXPECT_DOUBLE_EQ(m.recovery_headroom,
+                     lsn::recovery_headroom(result.step_served_fraction));
+    EXPECT_GE(m.delivered_fraction, 0.0);
+    EXPECT_LE(m.delivered_fraction, 1.0);
+    EXPECT_GE(m.p50_session_rate_mbps, m.p99_session_rate_mbps);
+}
+
+TEST(ServingSweep, MidSweepTotalStrikeDipsAndRecovers)
+{
+    const sweep_fixture fx;
+    serving_options options;
+    options.n_sessions = 30000;
+    options.seed = 3;
+    const int n_sats = static_cast<int>(fx.positions[0].size());
+    const int n_steps = static_cast<int>(fx.offsets.size());
+    ASSERT_GE(n_steps, 3);
+
+    const auto baseline = run_serving_sweep_timeline(
+        fx.builder, fx.offsets, fx.positions,
+        lsn::failure_timeline::from_static_mask({}), fx.grid, options);
+    const auto struck = run_serving_sweep_timeline(
+        fx.builder, fx.offsets, fx.positions,
+        strike_window(n_sats, n_steps, 1, 2), fx.grid, options);
+
+    // The struck step serves nobody: everything awake is dropped.
+    EXPECT_DOUBLE_EQ(struck.step_served_fraction[1], 0.0);
+    EXPECT_DOUBLE_EQ(struck.step_delivered_gbps[1], 0.0);
+    EXPECT_EQ(struck.step_sessions_dropped[1], struck.step_sessions_active[1]);
+    EXPECT_GT(struck.step_sessions_active[1], 0.0);
+    // The strike step drops everyone awake, but the *worst* step may still
+    // be a busier baseline step with coverage gaps — the max is over the
+    // whole trace.
+    double dropped_max = 0.0;
+    for (const double d : struck.step_sessions_dropped)
+        dropped_max = std::max(dropped_max, d);
+    EXPECT_EQ(struck.metrics.sessions_dropped_max,
+              static_cast<std::int64_t>(dropped_max));
+    EXPECT_GE(struck.metrics.sessions_dropped_max,
+              static_cast<std::int64_t>(struck.step_sessions_active[1]));
+
+    // Every untouched step is byte-identical to the baseline sweep.
+    for (const int step : {0, 2, 3}) {
+        if (step >= n_steps) continue;
+        EXPECT_EQ(struck.step_served_fraction[static_cast<std::size_t>(step)],
+                  baseline.step_served_fraction[static_cast<std::size_t>(step)]);
+        EXPECT_EQ(struck.step_delivered_gbps[static_cast<std::size_t>(step)],
+                  baseline.step_delivered_gbps[static_cast<std::size_t>(step)]);
+    }
+    EXPECT_LE(struck.metrics.served_fraction_mean,
+              baseline.metrics.served_fraction_mean);
+    EXPECT_GE(struck.metrics.recovery_headroom,
+              baseline.metrics.recovery_headroom);
+}
+
+TEST(ServingSweep, TimeToRestoreSemantics)
+{
+    const std::vector<double> offsets{0.0, 600.0, 1200.0, 1800.0};
+    const std::vector<double> healthy{1.0, 0.95, 1.0, 0.92};
+    EXPECT_DOUBLE_EQ(time_to_restore(healthy, offsets, 0.9), -1.0);
+
+    const std::vector<double> restored{1.0, 0.4, 0.5, 0.95};
+    EXPECT_DOUBLE_EQ(time_to_restore(restored, offsets, 0.9), 1200.0);
+
+    const std::vector<double> stuck{1.0, 0.4, 0.5, 0.6};
+    EXPECT_TRUE(std::isinf(time_to_restore(stuck, offsets, 0.9)));
+
+    const std::vector<double> misaligned{1.0, 0.4};
+    EXPECT_THROW(time_to_restore(misaligned, offsets, 0.9), contract_violation);
+}
+
+TEST(ServingSweep, MaskedWrapperMatchesSingleRowTimeline)
+{
+    const sweep_fixture fx(15000);
+    serving_options options;
+    options.n_sessions = 15000;
+    options.seed = 3;
+    const int n_sats = static_cast<int>(fx.positions[0].size());
+    std::vector<std::uint8_t> mask(static_cast<std::size_t>(n_sats), 0);
+    for (int s = 0; s < n_sats; s += 3) mask[static_cast<std::size_t>(s)] = 1;
+
+    const auto via_mask = run_serving_sweep_masked(
+        fx.builder, fx.offsets, fx.positions, mask, fx.grid, options);
+    const auto via_timeline = run_serving_sweep_timeline(
+        fx.builder, fx.offsets, fx.positions,
+        lsn::failure_timeline::from_static_mask(mask), fx.grid, options);
+    EXPECT_EQ(via_mask.step_served_fraction, via_timeline.step_served_fraction);
+    EXPECT_EQ(via_mask.step_delivered_gbps, via_timeline.step_delivered_gbps);
+    EXPECT_EQ(via_mask.metrics.p99_session_rate_mbps,
+              via_timeline.metrics.p99_session_rate_mbps);
+
+    std::vector<std::uint8_t> wrong(static_cast<std::size_t>(n_sats) + 1, 0);
+    EXPECT_THROW(run_serving_sweep_masked(fx.builder, fx.offsets, fx.positions,
+                                          wrong, fx.grid, options),
+                 contract_violation);
+}
+
+TEST(ServingSweep, BitIdenticalAcrossThreadsAndChunkSizes)
+{
+    const sweep_fixture fx;
+    serving_options options;
+    options.n_sessions = 30000;
+    options.seed = 3;
+    const int n_sats = static_cast<int>(fx.positions[0].size());
+    const int n_steps = static_cast<int>(fx.offsets.size());
+    const auto timeline = strike_window(n_sats, n_steps, 1, 3);
+
+    const auto reference = run_serving_sweep_timeline(
+        fx.builder, fx.offsets, fx.positions, timeline, fx.grid, options);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        set_thread_count(threads);
+        for (const int chunk : {0, 5}) {
+            serving_options perturbed = options;
+            perturbed.chunk_cells = chunk;
+            const auto result = run_serving_sweep_timeline(
+                fx.builder, fx.offsets, fx.positions, timeline, fx.grid,
+                perturbed);
+            EXPECT_EQ(result.step_served_fraction,
+                      reference.step_served_fraction);
+            EXPECT_EQ(result.step_sessions_active,
+                      reference.step_sessions_active);
+            EXPECT_EQ(result.step_sessions_dropped,
+                      reference.step_sessions_dropped);
+            EXPECT_EQ(result.step_sessions_degraded,
+                      reference.step_sessions_degraded);
+            EXPECT_EQ(result.step_p99_session_rate_mbps,
+                      reference.step_p99_session_rate_mbps);
+            EXPECT_EQ(result.step_delivered_gbps,
+                      reference.step_delivered_gbps);
+            EXPECT_EQ(result.metrics.p50_session_rate_mbps,
+                      reference.metrics.p50_session_rate_mbps);
+            EXPECT_EQ(result.metrics.p99_session_rate_mbps,
+                      reference.metrics.p99_session_rate_mbps);
+            EXPECT_EQ(result.metrics.served_fraction_mean,
+                      reference.metrics.served_fraction_mean);
+            EXPECT_EQ(result.metrics.time_to_restore_s,
+                      reference.metrics.time_to_restore_s);
+        }
+    }
+    set_thread_count(0);
+}
+
+} // namespace
+} // namespace ssplane::serve

@@ -20,10 +20,12 @@
 //   of planes at degree 2 to ~45% at degree 5.
 #include "spectral/percolation.h"
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lsn/scenario.h"
 #include "util/angles.h"
 #include "util/stats.h"
 
@@ -130,6 +132,109 @@ TEST(RobustnessRegression, MaskingThresholdMonotoneInMaxDegree)
     // The spread itself is the exemplar's headline: the degree budget at
     // least doubles the maskable attack fraction.
     EXPECT_GE(thresholds.back(), 2.0 * thresholds.front());
+}
+
+// --- Inclination axis ------------------------------------------------------
+//
+// The static capped wiring is pure index math, so inclination cannot reach
+// it — the masking-threshold grid above is inclination-invariant by
+// construction. Where inclination DOES bite is the range-gated snapshot:
+// plane geometry decides which declared ISLs are actually within range, so
+// the snapshot path is the right instrument for an inclination axis.
+
+const std::vector<double> inclination_axis_deg = {40.0, 70.0, 85.0};
+
+/// Mean alive-giant fraction over the plane-attack escalation (fractions
+/// 0.05..0.70, 8 seeded draws each) of the range-gated t=0 snapshot.
+double snapshot_attack_resilience(double inclination_deg, int degree)
+{
+    constexpr int planes = 16;
+    constellation::walker_parameters params = shell(planes);
+    params.inclination_rad = deg2rad(inclination_deg);
+    const lsn::lsn_topology topo =
+        lsn::build_walker_capped_topology(params, degree);
+    // 6 sats/plane puts intra-plane neighbours ~6.9e6 m apart — past the
+    // 6.0e6 m default ISL range — so widen the gate: geometry, not a
+    // blanket cutoff, should decide which declared links survive.
+    const lsn::snapshot_builder builder(topo, {}, astro::instant::j2000(),
+                                        deg2rad(25.0), 8.0e6);
+    const lsn::network_snapshot snapshot = builder.snapshot(0.0);
+
+    percolation_options metrics;
+    metrics.compute_lambda2 = false;
+    metrics.compute_clustering = false;
+
+    double sum = 0.0;
+    int count = 0;
+    for (double fraction = 0.05; fraction <= 0.70 + 1e-9; fraction += 0.05) {
+        lsn::failure_scenario attack;
+        attack.mode = lsn::failure_mode::plane_attack;
+        attack.planes_attacked = std::max(
+            1, static_cast<int>(std::lround(fraction * planes)));
+        for (int draw = 0; draw < 8; ++draw) {
+            attack.seed = 2026 + static_cast<std::uint64_t>(draw);
+            const auto mask = lsn::sample_failures(topo, attack);
+            sum += analyze_percolation(snapshot, mask, metrics)
+                       .giant_alive_fraction;
+            ++count;
+        }
+    }
+    return sum / static_cast<double>(count);
+}
+
+TEST(RobustnessRegression, DegreeResilienceCorrelationHoldsAcrossInclinations)
+{
+    // Calibrated resilience (16 planes, 6 sats/plane, range gate 8.0e6 m,
+    // seeds 2026..2033, fractions 0.05..0.70):
+    //
+    //   inclination   degree 2  degree 3  degree 4  degree 5
+    //     40 deg        0.143     0.251     0.556     0.613
+    //     70 deg        0.143     0.251     0.556     0.775
+    //     85 deg        0.558     0.703     0.739     0.907
+    //
+    // The near-polar shell keeps far more cross-plane ISLs inside the
+    // range gate (adjacent planes converge toward the poles), so its
+    // whole degree slice sits well above the low-inclination shells.
+    const std::vector<std::vector<double>> pinned = {
+        {0.143, 0.251, 0.556, 0.613},
+        {0.143, 0.251, 0.556, 0.775},
+        {0.558, 0.703, 0.739, 0.907}};
+
+    std::vector<std::vector<double>> resilience;
+    for (const double inclination : inclination_axis_deg) {
+        std::vector<double> slice;
+        for (const double degree : degree_axis)
+            slice.push_back(snapshot_attack_resilience(
+                inclination, static_cast<int>(degree)));
+        resilience.push_back(std::move(slice));
+    }
+
+    for (std::size_t ii = 0; ii < inclination_axis_deg.size(); ++ii) {
+        // The degree budget drives resilience at EVERY inclination — the
+        // Pearson band of the static grid carries over to the range-gated
+        // snapshot view.
+        EXPECT_GE(pearson_correlation(degree_axis, resilience[ii]), 0.9)
+            << "inclination " << inclination_axis_deg[ii];
+        for (std::size_t di = 0; di + 1 < degree_axis.size(); ++di)
+            EXPECT_LT(resilience[ii][di], resilience[ii][di + 1])
+                << "inclination " << inclination_axis_deg[ii] << " degree "
+                << degree_axis[di];
+        for (std::size_t di = 0; di < degree_axis.size(); ++di)
+            EXPECT_NEAR(resilience[ii][di], pinned[ii][di], 0.05)
+                << "inclination " << inclination_axis_deg[ii] << " degree "
+                << degree_axis[di];
+    }
+
+    // Per degree, resilience never falls as inclination rises, and the
+    // near-polar shell is strictly ahead of the 40 deg one.
+    for (std::size_t di = 0; di < degree_axis.size(); ++di) {
+        for (std::size_t ii = 0; ii + 1 < inclination_axis_deg.size(); ++ii)
+            EXPECT_LE(resilience[ii][di], resilience[ii + 1][di] + 1e-12)
+                << "degree " << degree_axis[di] << " inclination "
+                << inclination_axis_deg[ii];
+        EXPECT_GT(resilience.back()[di], resilience.front()[di])
+            << "degree " << degree_axis[di];
+    }
 }
 
 } // namespace

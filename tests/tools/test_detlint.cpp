@@ -165,13 +165,14 @@ TEST(DetlintTree, SrcSuppressionsAreFewAndIntentional)
     // Suppressions are part of the contract surface: a jump in their count
     // means ALLOW is becoming a reflex instead of a proof. Raise the bound
     // consciously when adding one. Current ledger: per-struct RNG seeds
-    // (every 64-bit value valid) plus the spectral analyzer's boolean
-    // compute toggles (both values valid).
+    // (every 64-bit value valid — scenario, lanczos, masking-threshold and
+    // serving options) plus the spectral analyzer's boolean compute toggles
+    // (both values valid).
     const auto findings = lint(SSPLANE_SRC_DIR);
     const auto suppressed = static_cast<int>(
         std::count_if(findings.begin(), findings.end(),
                       [](const finding& f) { return f.suppressed; }));
-    EXPECT_LE(suppressed, 10);
+    EXPECT_LE(suppressed, 11);
 }
 
 TEST(DetlintTree, RngSplitPurposeStreamsAreUniqueTreeWide)
